@@ -1,0 +1,49 @@
+"""Shared state for the benchmark harness.
+
+All figure/table benches share one :class:`MatrixRunner` so that a cell
+simulated for Fig. 7 is reused by Fig. 9 and Fig. 10 — exactly like the
+paper's evaluation pipeline, which derives every figure from one set of
+simulation runs.  Each bench therefore times "produce this figure given
+the shared result cache"; the first bench touching a cell pays for it.
+
+Environment knobs:
+
+* ``REPRO_BENCH_REFS``  — trace length per cell (default 60,000)
+* ``REPRO_BENCH_SEED``  — experiment seed (default package default)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, MatrixRunner
+
+BENCH_REFERENCES = int(os.environ.get("REPRO_BENCH_REFS", "60000"))
+_seed_env = os.environ.get("REPRO_BENCH_SEED")
+BENCH_SEED = int(_seed_env) if _seed_env else None
+
+
+@pytest.fixture(scope="session")
+def runner() -> MatrixRunner:
+    config = ExperimentConfig(
+        references=BENCH_REFERENCES,
+        seed=BENCH_SEED,
+        ideal_subsample=4,
+    )
+    return MatrixRunner(config)
+
+
+@pytest.fixture
+def emit(capfd):
+    """Print a report to the real terminal, bypassing pytest capture,
+    so that ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+    records every regenerated table."""
+
+    def _emit(report) -> None:
+        with capfd.disabled():
+            print()
+            print(report.render())
+
+    return _emit

@@ -1,0 +1,26 @@
+"""Ablation E bench: context switches over shared TLBs."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_context_switch(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: ablations.context_switches(
+            references=min(runner.config.references, 24_000),
+            seed=runner.config.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    for row in report.table:
+        quantum, base_flush, anchor_flush, base_tag, anchor_tag = row
+        # The anchor advantage survives flushing at every quantum.
+        assert anchor_flush < base_flush
+        assert anchor_tag < base_tag
+        # Flushing never helps either scheme.
+        assert base_flush >= base_tag
+        assert anchor_flush >= anchor_tag
+    # Smaller quanta cost more walks under flush-on-switch.
+    flush_walks = [row[1] for row in report.table]
+    assert flush_walks == sorted(flush_walks, reverse=True)

@@ -1,0 +1,24 @@
+"""Ablation D bench: Algorithm 1 cost-function variants."""
+
+from repro.experiments import ablations
+from repro.experiments.common import ExperimentConfig
+
+
+def test_ablation_cost_weights(benchmark, runner, emit):
+    config = ExperimentConfig(references=min(runner.config.references, 40_000),
+                              seed=runner.config.seed)
+    report = benchmark.pedantic(
+        lambda: ablations.cost_weighting(config=config),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    # The ablation's claim: the entry-count reading of Algorithm 1 (the
+    # one that reproduces the paper's Table 6) never loses to the
+    # pseudocode-literal inverse-coverage weighting, and stays within
+    # 2.5x of the capacity-aware simulated optimum (the gap is the
+    # static-estimator limitation of §5.2.1).
+    for row in report.table:
+        workload, _, _, _, walks_count, walks_inv, walks_best = row
+        assert walks_count <= walks_inv + 50, workload
+        assert walks_count <= 2.5 * walks_best + 50, workload

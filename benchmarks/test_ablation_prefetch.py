@@ -1,0 +1,23 @@
+"""Ablation H bench: distance prefetching vs hybrid coalescing."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_prefetch(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: ablations.prefetch_vs_coalescing(
+            references=min(runner.config.references, 30_000),
+            seed=runner.config.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    rows = {row[0]: row for row in report.table}
+    # Strided sweeps (milc): prefetching clearly helps.
+    assert rows["milc"][2] < 0.8 * rows["milc"][1]
+    # Uniform random (gups): prefetching is ~inert.
+    assert rows["gups"][2] > 0.9 * rows["gups"][1]
+    # Coalescing helps every workload at medium contiguity.
+    for row in report.table:
+        assert row[4] < row[1]

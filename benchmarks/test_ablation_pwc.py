@@ -1,0 +1,24 @@
+"""Ablation F bench: anchors x page-walk caches."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_pwc(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: ablations.pwc_composition(
+            references=min(runner.config.references, 40_000),
+            seed=runner.config.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    rows = {(row[0], row[1]): row for row in report.table}
+    # PWC never changes the number of walks, only their cost.
+    assert rows[("base", "on")][2] == rows[("base", "off")][2]
+    # Each family helps alone...
+    assert rows[("base", "on")][4] < rows[("base", "off")][4]
+    assert rows[("anchor-dyn", "off")][4] < rows[("base", "off")][4]
+    # ...and composing them is the best of the four.
+    best = min(row[4] for row in report.table)
+    assert rows[("anchor-dyn", "on")][4] == best

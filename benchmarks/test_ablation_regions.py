@@ -1,0 +1,17 @@
+"""Ablation C bench: multi-region anchors (§4.2) on a bimodal mapping."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_regions(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: ablations.region_anchors(references=40_000, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    single = report.table[0][1]
+    per_region = report.table[1][1]
+    # Per-region distances must not lose to the single compromise
+    # distance on a bimodal-contiguity address space.
+    assert per_region <= single * 1.02

@@ -1,0 +1,23 @@
+"""Ablation B bench: L2 TLB size sweep."""
+
+from repro.experiments import ablations
+from repro.experiments.common import ExperimentConfig
+
+
+def test_ablation_tlb_size(benchmark, runner, emit):
+    config = ExperimentConfig(references=runner.config.references,
+                              seed=runner.config.seed)
+    report = benchmark.pedantic(
+        lambda: ablations.l2_size_sweep("mcf", "medium", config=config),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    headers = list(report.headers)
+    anchor, base = headers.index("anchor-dyn"), headers.index("base")
+    for row in report.table:
+        # The anchor advantage holds at every L2 size.
+        assert row[anchor] <= row[base]
+    # Bigger L2 helps the baseline monotonically.
+    base_walks = report.column("base")
+    assert base_walks == sorted(base_walks, reverse=True)

@@ -1,0 +1,29 @@
+"""Ablation G bench: hybrid coalescing under nested translation."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_virtualization(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: ablations.virtualization(
+            references=min(runner.config.references, 30_000),
+            seed=runner.config.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    rows = {(row[0], row[1]): row for row in report.table}
+    best = rows[("max", "max")]
+    # Both layers contiguous: huge composed chunks, huge distance,
+    # near-eliminated misses.
+    assert best[3] >= 1024
+    assert best[6] < 5.0
+    # Either fragmented layer erases the other's contiguity: the
+    # composed chunks (and the selected distance) drop to medium-level.
+    for key in (("max", "medium"), ("medium", "max")):
+        assert rows[key][2] < best[2] / 4
+        assert rows[key][3] < best[3]
+    # The anchor scheme still beats base everywhere (CPI).
+    for row in report.table:
+        assert row[5] < row[4]

@@ -1,0 +1,27 @@
+"""Bench: regenerate the §3.3 anchor-distance-change cost table."""
+
+from repro.experiments import distance_change_cost
+from repro.mem.frames import FrameRange
+from repro.vmos.mapping import MemoryMapping
+
+
+def test_distance_change_cost(benchmark, emit):
+    report = benchmark.pedantic(
+        distance_change_cost.run, rounds=1, iterations=1
+    )
+    emit(report)
+    # Calibration point: d=8 on a 30 GiB process reproduces ~452 ms.
+    row = next(r for r in report.table if r[0] == 8)
+    assert abs(row[2] - 452.0) / 452.0 < 0.05
+
+
+def test_radix_sweep_visit_count(benchmark, emit):
+    """The real page-table sweep visits exactly the mapped leaves."""
+    mapping = MemoryMapping()
+    mapping.map_run(0, FrameRange(1 << 20, 1 << 14))
+    visited = benchmark.pedantic(
+        lambda: distance_change_cost.sweep_visit_count(mapping, 64),
+        rounds=1,
+        iterations=1,
+    )
+    assert visited == 1 << 14

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 10 (translation-CPI breakdown, demand paging)."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_cpi_demand(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: fig10.run(runner=runner, include_ideal=True),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    # The paper highlights large CPI reductions for the walk-dominated
+    # applications; check the anchor scheme beats base for them.
+    for workload in ("gups", "graph500", "tigr"):
+        base = fig10.total_cpi(report, workload, "base")
+        anchor = fig10.total_cpi(report, workload, "anchor-dyn")
+        assert anchor < base
+    # Base bars are pure walk cycles (no coalesced component ever).
+    for row in report.table:
+        if row[1] == "base":
+            assert row[3] == 0.0

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 11 (translation-CPI breakdown, medium)."""
+
+from repro.experiments import fig10, fig11
+
+
+def test_fig11_cpi_medium(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: fig11.run(runner=runner, include_ideal=True),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    # Paper: graph500 gains multiple CPI points at medium contiguity.
+    base = fig10.total_cpi(report, "graph500", "base")
+    anchor = fig10.total_cpi(report, "graph500", "anchor-dyn")
+    assert anchor < base
+    # At medium contiguity THP bars track base closely (nothing to
+    # promote), unlike the anchor bars.
+    thp = fig10.total_cpi(report, "graph500", "thp")
+    assert abs(thp - base) / base < 0.2

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 1 (chunk-size CDFs under memory pressure)."""
+
+from repro.experiments import fig1
+
+
+def test_fig1_contiguity_cdf(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: fig1.run(
+            workloads=("canneal", "raytrace"),
+            profiles=("pristine", "light", "moderate", "heavy"),
+            seeds=(1, 2, 3),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    # The paper's observation: wide run-to-run contiguity variation.
+    assert max(fig1.spread_at(report, p) for p in fig1.CHUNK_AXIS) > 0.1

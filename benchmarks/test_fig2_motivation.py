@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 2 (prior schemes vs contiguity scenarios)."""
+
+from repro.experiments import fig2
+
+
+def test_fig2_motivation(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: fig2.run(runner=runner), rounds=1, iterations=1
+    )
+    emit(report)
+    small = report.row_for("small")
+    large = report.row_for("large")
+    headers = list(report.headers)
+    rmm, cluster = headers.index("rmm"), headers.index("cluster")
+    # RMM: poor at small chunks, near-eliminates misses at large chunks.
+    assert large[rmm] < 15.0 < small[rmm]
+    # Cluster: roughly flat across contiguity (its gain cannot scale).
+    assert abs(small[cluster] - large[cluster]) < 40.0

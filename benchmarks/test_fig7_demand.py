@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 7 (per-app relative misses, demand paging)."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_demand(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: fig7.run(runner=runner, include_ideal=True),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    mean = report.row_for("mean")
+    headers = list(report.headers)
+    anchor = mean[headers.index("anchor-dyn")]
+    # Paper: the dynamic anchor scheme is the best performer on average
+    # under demand paging (67.3% reduction; ours differs in magnitude
+    # but must preserve the ordering).
+    for prior in ("thp", "cluster", "cluster2mb", "rmm"):
+        assert anchor <= mean[headers.index(prior)] + 1.0, prior
+    # The dynamic pick should approach the static-ideal upper bound.
+    ideal = mean[headers.index("anchor-ideal")]
+    assert anchor <= ideal + 15.0

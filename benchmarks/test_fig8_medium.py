@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 8 (per-app relative misses, medium contiguity)."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_medium(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: fig8.run(runner=runner, include_ideal=True),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    headers = list(report.headers)
+    mean = report.row_for("mean")
+    # Paper: THP is ineffective below 2 MiB chunks; anchor wins.
+    assert mean[headers.index("thp")] > 95.0
+    anchor = mean[headers.index("anchor-dyn")]
+    for prior in ("thp", "cluster", "cluster2mb", "rmm"):
+        assert anchor <= mean[headers.index(prior)] + 1.0, prior
+    # Worst case (paper §5.2.1): gups still improves, if only slightly.
+    gups = report.row_for("gups")
+    assert 50.0 < gups[headers.index("anchor-dyn")] < 100.0

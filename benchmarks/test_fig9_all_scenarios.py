@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 9 (mean relative misses, all six scenarios)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_all_scenarios(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: fig9.run(runner=runner, include_ideal=True),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    headers = list(report.headers)
+    anchor_column = headers.index("anchor-dyn")
+    # Headline claim: anchor matches or beats the best prior scheme in
+    # EVERY scenario.
+    for row in report.table:
+        anchor = row[anchor_column]
+        best_prior = min(
+            row[headers.index(p)] for p in ("thp", "cluster", "cluster2mb", "rmm")
+        )
+        assert anchor <= best_prior + 2.0, row[0]

@@ -1,0 +1,20 @@
+"""Bench: regenerate Table 5 (anchor-scheme L2 hit/miss breakdown)."""
+
+from repro.experiments import table5
+
+
+def test_table5_hit_breakdown(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: table5.run(runner=runner), rounds=1, iterations=1
+    )
+    emit(report)
+    for row in report.table:
+        # Shares are percentages of L2 accesses and must sum to 100.
+        assert abs(row[1] + row[2] + row[3] - 100.0) < 0.5
+        assert abs(row[4] + row[5] + row[6] - 100.0) < 0.5
+    # Shape anchors (paper Table 5): milc resolves most of its medium-
+    # contiguity L2 accesses via anchor entries; gups mostly misses.
+    milc = report.row_for("milc")
+    gups = report.row_for("gups")
+    assert milc[5] > 50.0      # medium A.hit
+    assert gups[6] > 50.0      # medium miss

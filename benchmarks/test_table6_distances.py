@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 6 (dynamically selected anchor distances)."""
+
+from repro.experiments import table6
+
+
+def test_table6_distances(benchmark, runner, emit):
+    report = benchmark.pedantic(
+        lambda: table6.run(runner=runner), rounds=1, iterations=1
+    )
+    emit(report)
+    # Paper Table 6 structure: low contiguity selects 4 for every app;
+    # medium selects 16-32; big-array apps select >= 1K under max.
+    low = table6.selected_distances(runner, "low")
+    assert all(distance == 4 for distance in low.values())
+    medium = table6.selected_distances(runner, "medium")
+    assert all(distance in (8, 16, 32, 64) for distance in medium.values())
+    maximum = table6.selected_distances(runner, "max")
+    for app in ("gups", "graph500", "mcf"):
+        assert maximum[app] >= 1024, app

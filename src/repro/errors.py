@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class of every error raised by this package."""
+
+
+class OutOfMemoryError(ReproError):
+    """The buddy allocator cannot satisfy an allocation request."""
+
+
+class MappingError(ReproError):
+    """An inconsistent virtual-to-physical mapping operation."""
+
+
+class PageFaultError(MappingError):
+    """Translation requested for an unmapped virtual page."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid hardware or experiment configuration."""

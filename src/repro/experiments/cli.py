@@ -1,0 +1,253 @@
+"""Command-line front end: ``anchor-tlb <experiment> [options]``.
+
+Examples::
+
+    anchor-tlb list
+    anchor-tlb inspect --workload gups --scenario medium
+    anchor-tlb fig9 --references 50000 --plot
+    anchor-tlb table6
+    anchor-tlb fig7 --no-ideal
+    anchor-tlb all --references 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    distance_change_cost,
+    fig1,
+    fig2,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table5,
+    table6,
+)
+from repro.experiments.common import ExperimentConfig, MatrixRunner
+
+_MATRIX_EXPERIMENTS = {
+    "fig2": fig2.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "table5": table5.run,
+    "table6": table6.run,
+}
+
+_SPECIAL = ["list", "inspect", "trace", "headline", "fig1",
+            "distance-cost", "ablation-a",
+            "ablation-b", "ablation-c", "ablation-d", "ablation-e",
+            "ablation-f", "ablation-g", "ablation-h"]
+
+
+def _render_list() -> str:
+    from repro.params import SCENARIO_ORDER
+    from repro.schemes.registry import scheme_names
+    from repro.sim.workloads import WORKLOAD_ORDER, WORKLOADS
+    from repro.util.tables import format_table
+
+    rows = [
+        [
+            name,
+            WORKLOADS[name].footprint_pages,
+            f"{WORKLOADS[name].footprint_pages * 4 // 1024} MiB",
+            WORKLOADS[name].mem_ops_per_instr,
+            WORKLOADS[name].description,
+        ]
+        for name in WORKLOAD_ORDER + ("raytrace",)
+    ]
+    parts = [
+        format_table(
+            ["workload", "pages", "size", "mem/instr", "model"],
+            rows, precision=2, title="Workloads",
+        ),
+        "",
+        "Schemes:   " + ", ".join(scheme_names(include_extras=True))
+        + ", anchor-ideal (exhaustive)",
+        "Scenarios: " + ", ".join(SCENARIO_ORDER),
+    ]
+    return "\n".join(parts)
+
+
+def _render_inspect(workload_name: str, scenario: str, seed: int | None) -> str:
+    from repro.sim.analysis import profile
+    from repro.sim.workloads import get_workload
+    from repro.util.tables import format_table
+    from repro.vmos.contiguity import contiguity_histogram, mean_chunk_pages
+    from repro.vmos.distance import cost_table, select_distance
+    from repro.vmos.scenarios import build_mapping
+
+    workload = get_workload(workload_name)
+    mapping = build_mapping(workload.vmas(), scenario, seed=seed)
+    histogram = contiguity_histogram(mapping)
+    costs = cost_table(histogram)
+    picked = select_distance(histogram)
+    trace = workload.make_trace(20_000, seed=seed)
+    fingerprint = profile(trace)
+
+    interesting = sorted(costs)[:12]
+    parts = [
+        f"{workload_name} / {scenario}",
+        f"  mapping: {mapping.mapped_pages} pages in "
+        f"{histogram.total_items} chunks "
+        f"(mean {mean_chunk_pages(mapping):.1f} pages)",
+        f"  trace:   {fingerprint.summary()}",
+        "",
+        format_table(
+            ["distance", "Algorithm 1 cost", ""],
+            [[d, costs[d], "<-- selected" if d == picked else ""]
+             for d in interesting],
+            precision=0,
+            title="distance selection",
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def _render_trace(args: argparse.Namespace) -> str:
+    """Generate (and optionally save) a workload trace, with its profile."""
+    from repro.sim.analysis import profile
+    from repro.sim.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    references = args.references or 50_000
+    trace = workload.make_trace(references, seed=args.seed)
+    lines = [f"{args.workload}: {profile(trace).summary()}"]
+    if args.out:
+        trace.save(args.out)
+        lines.append(f"saved to {args.out}")
+    return "\n".join(lines)
+
+
+def _plot_report(name: str, report) -> str:
+    """Bar-chart rendering for the relative-miss experiments."""
+    from repro.util.charts import bar_chart, stacked_bar_chart
+
+    if name in ("fig10", "fig11"):
+        # One stacked bar per (workload, scheme): L2-hit/coalesced/walk.
+        labels = [f"{row[0]}/{row[1]}" for row in report.table]
+        parts = [[float(row[2]), float(row[3]), float(row[4])]
+                 for row in report.table]
+        legend = "legend: # = L2 hit cycles, = = coalesced hit, + = walk"
+        return "\n" + legend + "\n" + stacked_bar_chart(labels, parts, "#=+")
+    if name in ("fig2", "fig9"):
+        parts = []
+        headers = list(report.headers)
+        for row in report.table:
+            labels = headers[1:]
+            values = [float(v) for v in row[1:]]
+            parts.append(f"\n{row[0]}:")
+            parts.append(bar_chart(labels, values, max_value=100.0, unit="%"))
+        return "\n".join(parts)
+    if name in ("fig7", "fig8"):
+        headers = list(report.headers)
+        mean = report.row_for("mean")
+        return "\nmean:\n" + bar_chart(
+            headers[1:], [float(v) for v in mean[1:]], max_value=100.0, unit="%"
+        )
+    return ""
+
+
+def _run_one(name: str, args: argparse.Namespace, runner: MatrixRunner) -> str:
+    if name == "list":
+        return _render_list()
+    if name == "inspect":
+        return _render_inspect(args.workload, args.scenario, args.seed)
+    if name == "trace":
+        return _render_trace(args)
+    if name == "headline":
+        from repro.experiments import headline
+        return headline.run(runner=runner).render()
+    if name == "fig1":
+        report = fig1.run()
+        text = report.render()
+        if args.plot:
+            from repro.util.charts import cdf_sketch
+            series = {}
+            for row in report.table:
+                points = [(point, float(value)) for point, value in
+                          zip(fig1.CHUNK_AXIS, row[1:])]
+                series[str(row[0])] = points
+            text += "\n\n" + cdf_sketch(series, fig1.CHUNK_AXIS)
+        return text
+    if name == "distance-cost":
+        return distance_change_cost.run().render()
+    if name == "ablation-a":
+        return ablations.distance_sensitivity(config=runner.config).render()
+    if name == "ablation-b":
+        return ablations.l2_size_sweep(config=runner.config).render()
+    if name == "ablation-c":
+        return ablations.region_anchors(seed=args.seed).render()
+    if name == "ablation-d":
+        return ablations.cost_weighting(config=runner.config).render()
+    if name == "ablation-e":
+        return ablations.context_switches(seed=args.seed).render()
+    if name == "ablation-f":
+        return ablations.pwc_composition(seed=args.seed).render()
+    if name == "ablation-g":
+        return ablations.virtualization(seed=args.seed).render()
+    if name == "ablation-h":
+        return ablations.prefetch_vs_coalescing(seed=args.seed).render()
+    driver = _MATRIX_EXPERIMENTS[name]
+    if name in ("fig2", "table5", "table6"):
+        report = driver(runner=runner)
+    else:
+        report = driver(runner=runner, include_ideal=not args.no_ideal)
+    if args.json:
+        return report.to_json()
+    text = report.render()
+    if args.plot:
+        text += "\n" + _plot_report(name, report)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    names = _SPECIAL + sorted(_MATRIX_EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        prog="anchor-tlb",
+        description="Hybrid TLB Coalescing (ISCA'17) reproduction experiments",
+    )
+    parser.add_argument("experiment", choices=names + ["all"])
+    parser.add_argument("--references", type=int, default=None,
+                        help="trace length in memory references")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--no-ideal", action="store_true",
+                        help="skip the exhaustive static-ideal column")
+    parser.add_argument("--plot", action="store_true",
+                        help="append text bar charts to figure tables")
+    parser.add_argument("--json", action="store_true",
+                        help="emit matrix experiments as JSON instead of text")
+    parser.add_argument("--workload", default="gups",
+                        help="workload for 'inspect'")
+    parser.add_argument("--scenario", default="medium",
+                        help="scenario for 'inspect'")
+    parser.add_argument("--out", default=None,
+                        help="output path for 'trace' (.npz)")
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(
+        **({"references": args.references} if args.references else {}),
+        seed=args.seed,
+    )
+    runner = MatrixRunner(config)
+    if args.experiment == "all":
+        targets = [n for n in names if n not in ("list", "inspect", "trace")]
+    else:
+        targets = [args.experiment]
+    for name in targets:
+        started = time.time()
+        print(_run_one(name, args, runner))
+        print(f"[{name}: {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Shared experiment machinery: the (workload x scenario x scheme) matrix.
+
+Everything the figure drivers need: mapping/trace caching (mappings are
+deterministic in the seed, so every scheme sees the identical mapping
+and trace), baseline normalisation, and the static-ideal search wired in
+as a pseudo-scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.params import DEFAULT_MACHINE, MachineConfig
+from repro.schemes import make_scheme
+from repro.schemes.registry import SCHEME_ORDER
+from repro.sim.engine import DEFAULT_EPOCH_REFERENCES, SimulationResult, simulate
+from repro.sim.sweep import static_ideal
+from repro.sim.trace import Trace
+from repro.sim.workloads import WORKLOAD_ORDER, get_workload
+from repro.vmos.mapping import MemoryMapping
+from repro.vmos.scenarios import build_mapping
+
+#: Pseudo-scheme name handled by the runner via exhaustive search.
+STATIC_IDEAL = "anchor-ideal"
+
+#: Default trace length for experiment reports.  Large enough that the
+#: TLB reaches steady state (compulsory misses < 10% of events for every
+#: workload) while keeping the 14x6x7 matrix tractable in pure Python.
+DEFAULT_REFERENCES = 100_000
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments."""
+
+    references: int = DEFAULT_REFERENCES
+    seed: int | None = None
+    machine: MachineConfig = field(default_factory=lambda: DEFAULT_MACHINE)
+    epoch_references: int = DEFAULT_EPOCH_REFERENCES
+    #: Subsample step for the static-ideal search phase.
+    ideal_subsample: int = 4
+
+
+class MatrixRunner:
+    """Runs and caches cells of the experiment matrix."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._mappings: dict[tuple[str, str], MemoryMapping] = {}
+        self._traces: dict[str, Trace] = {}
+        self._results: dict[tuple[str, str, str], SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+
+    def mapping(self, workload: str, scenario: str) -> MemoryMapping:
+        key = (workload, scenario)
+        if key not in self._mappings:
+            vmas = get_workload(workload).vmas()
+            self._mappings[key] = build_mapping(
+                vmas, scenario, seed=self.config.seed
+            )
+        return self._mappings[key]
+
+    def trace(self, workload: str) -> Trace:
+        if workload not in self._traces:
+            self._traces[workload] = get_workload(workload).make_trace(
+                self.config.references, seed=self.config.seed
+            )
+        return self._traces[workload]
+
+    def run(self, workload: str, scenario: str, scheme: str) -> SimulationResult:
+        """Simulate one cell (cached)."""
+        key = (workload, scenario, scheme)
+        if key not in self._results:
+            mapping = self.mapping(workload, scenario)
+            trace = self.trace(workload)
+            if scheme == STATIC_IDEAL:
+                result = static_ideal(
+                    mapping,
+                    trace,
+                    self.config.machine,
+                    subsample=self.config.ideal_subsample,
+                )
+            else:
+                instance = make_scheme(scheme, mapping, self.config.machine)
+                result = simulate(
+                    instance, trace, epoch_references=self.config.epoch_references
+                )
+            self._results[key] = result
+        return self._results[key]
+
+    def relative_misses(self, workload: str, scenario: str, scheme: str) -> float:
+        """L2 misses of a cell as % of the 4 KiB baseline cell."""
+        baseline = self.run(workload, scenario, "base")
+        return self.run(workload, scenario, scheme).relative_misses(baseline)
+
+    # ------------------------------------------------------------------
+
+    def scenario_rows(
+        self,
+        scenario: str,
+        schemes: tuple[str, ...],
+        workloads: tuple[str, ...] = WORKLOAD_ORDER,
+    ) -> list[list[object]]:
+        """Per-workload relative-miss rows (Figs. 7/8 shape), plus a mean."""
+        rows: list[list[object]] = []
+        sums = [0.0] * len(schemes)
+        for workload in workloads:
+            row: list[object] = [workload]
+            for i, scheme in enumerate(schemes):
+                value = self.relative_misses(workload, scenario, scheme)
+                sums[i] += value
+                row.append(value)
+            rows.append(row)
+        rows.append(["mean"] + [s / len(workloads) for s in sums])
+        return rows
+
+
+def figure_schemes(include_ideal: bool = True) -> tuple[str, ...]:
+    """The scheme columns of Figs. 7-9."""
+    if include_ideal:
+        return SCHEME_ORDER + (STATIC_IDEAL,)
+    return SCHEME_ORDER

@@ -1,0 +1,19 @@
+"""Fig. 11 — translation-CPI breakdown per application, medium contiguity."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10
+from repro.experiments.common import ExperimentConfig, MatrixRunner
+from repro.experiments.report import Report
+from repro.sim.workloads import WORKLOAD_ORDER
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    runner: MatrixRunner | None = None,
+    include_ideal: bool = True,
+    workloads: tuple[str, ...] = WORKLOAD_ORDER,
+) -> Report:
+    report = fig10.run(config, runner, include_ideal, workloads, scenario="medium")
+    report.title = "Fig.11: translation CPI breakdown, medium contiguity"
+    return report

@@ -1,0 +1,68 @@
+"""Reference numbers transcribed from the paper, for side-by-side reports.
+
+Only values the paper states numerically are recorded; bar heights that
+can merely be read off a figure are not invented.  EXPERIMENTS.md pairs
+these with the measured results of this reproduction.
+"""
+
+from __future__ import annotations
+
+#: Mean TLB-miss *reduction* (percent, relative to the 4 KiB baseline)
+#: stated in §5.2 for the schemes the text quantifies, per scenario.
+PAPER_MEAN_REDUCTION = {
+    "demand": {"thp": 60.0, "cluster2mb": 64.0, "rmm": 53.2, "anchor-dyn": 67.3},
+    "eager": {"cluster2mb": 68.4, "anchor-dyn": 75.7},
+    "low": {"cluster2mb": 31.5, "anchor-dyn": 35.2},
+    "medium": {"cluster2mb": 40.4, "anchor-dyn": 78.5},
+}
+
+#: Worst-case single-application reduction the paper highlights.
+PAPER_GUPS_MEDIUM_REDUCTION = 11.4
+
+#: Table 6 — anchor distances picked by the dynamic selection algorithm
+#: (pages).  1K = 1024 etc.
+PAPER_TABLE6 = {
+    "astar_biglake": {"demand": 16, "eager": 256, "low": 4, "medium": 16, "high": 128, "max": 256},
+    "cactusADM": {"demand": 4096, "eager": 8192, "low": 4, "medium": 32, "high": 256, "max": 512},
+    "canneal": {"demand": 1024, "eager": 512, "low": 4, "medium": 8, "high": 256, "max": 1024},
+    "GemsFDTD": {"demand": 8192, "eager": 8192, "low": 4, "medium": 32, "high": 256, "max": 1024},
+    "mcf": {"demand": 65536, "eager": 65536, "low": 4, "medium": 32, "high": 512, "max": 65536},
+    "milc": {"demand": 16384, "eager": 8192, "low": 4, "medium": 32, "high": 256, "max": 256},
+    "omnetpp": {"demand": 4, "eager": 4, "low": 4, "medium": 16, "high": 128, "max": 256},
+    "soplex_pds": {"demand": 2, "eager": 2, "low": 4, "medium": 16, "high": 64, "max": 64},
+    "sphinx3": {"demand": 4, "eager": 4, "low": 4, "medium": 32, "high": 32, "max": 32},
+    "xalancbmk": {"demand": 4, "eager": 4, "low": 4, "medium": 32, "high": 128, "max": 128},
+    "mummer": {"demand": 2048, "eager": 32768, "low": 4, "medium": 32, "high": 128, "max": 256},
+    "tigr": {"demand": 2048, "eager": 512, "low": 4, "medium": 32, "high": 256, "max": 512},
+    "gups": {"demand": 32768, "eager": 32768, "low": 4, "medium": 32, "high": 1024, "max": 65536},
+    "graph500": {"demand": 65536, "eager": 16384, "low": 4, "medium": 32, "high": 1024, "max": 65536},
+}
+
+#: Table 5 — L2 access breakdown for the anchor scheme: (regular hit %,
+#: anchor hit %, L2 miss %) under the demand and medium mappings.
+PAPER_TABLE5 = {
+    "astar_biglake": {"demand": (43, 49, 6), "medium": (52, 46, 2)},
+    "cactusADM": {"demand": (49, 51, 0), "medium": (11, 44, 45)},
+    "canneal": {"demand": (33, 55, 12), "medium": (25, 59, 16)},
+    "GemsFDTD": {"demand": (91, 8, 1), "medium": (13, 85, 2)},
+    "mcf": {"demand": (91, 8, 1), "medium": (66, 32, 2)},
+    "milc": {"demand": (74, 25, 1), "medium": (3, 92, 5)},
+    "omnetpp": {"demand": (48, 29, 23), "medium": (62, 38, 0)},
+    "soplex_pds": {"demand": (75, 12, 13), "medium": (57, 43, 0)},
+    "sphinx3": {"demand": (87, 3, 10), "medium": (53, 47, 0)},
+    "xalancbmk": {"demand": (18, 16, 66), "medium": (66, 34, 0)},
+    "mummer": {"demand": (39, 5, 56), "medium": (70, 22, 8)},
+    "tigr": {"demand": (61, 34, 5), "medium": (61, 22, 17)},
+    "gups": {"demand": (27, 20, 53), "medium": (11, 1, 88)},
+    "graph500": {"demand": (49, 5, 46), "medium": (29, 5, 66)},
+}
+
+#: §3.3 — measured cost of changing the anchor distance for a 30 GiB
+#: process: distance -> milliseconds.
+PAPER_DISTANCE_CHANGE_MS = {8: 452.0, 64: 71.7, 512: 1.7}
+PAPER_DISTANCE_CHANGE_FOOTPRINT_PAGES = 30 * (1 << 30) // 4096
+
+#: §5.2.4 — translation-CPI reductions the text highlights (demand
+#: paging): application -> CPI saved by the dynamic anchor scheme.
+PAPER_CPI_REDUCTION_DEMAND = {"gups": 0.85, "tigr": 2.7, "graph500": 5.82}
+PAPER_CPI_REDUCTION_MEDIUM = {"graph500": 3.51}

@@ -1,0 +1,51 @@
+"""A tiny report abstraction shared by all experiment drivers."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.util.tables import format_table
+
+
+@dataclass
+class Report:
+    """Structured experiment output: a titled table plus notes."""
+
+    title: str
+    headers: Sequence[str]
+    table: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    precision: int = 1
+
+    def rows(self) -> list[list[object]]:
+        return self.table
+
+    def render(self) -> str:
+        text = format_table(self.headers, self.table, self.precision, self.title)
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text
+
+    def row_for(self, key: str) -> list[object]:
+        for row in self.table:
+            if row and row[0] == key:
+                return row
+        raise KeyError(key)
+
+    def column(self, header: str) -> list[object]:
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.table]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (rows as header-keyed objects)."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [dict(zip(self.headers, row)) for row in self.table],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

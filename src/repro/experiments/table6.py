@@ -1,0 +1,60 @@
+"""Table 6 — anchor distances selected by the dynamic algorithm.
+
+For every workload and mapping scenario, the distance Algorithm 1 picks
+from the OS contiguity histogram, alongside the paper's selection.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentConfig, MatrixRunner
+from repro.experiments.paper_data import PAPER_TABLE6
+from repro.experiments.report import Report
+from repro.params import SCENARIO_ORDER
+from repro.sim.workloads import WORKLOAD_ORDER
+from repro.vmos.contiguity import contiguity_histogram
+from repro.vmos.distance import select_distance
+
+
+def _fmt(distance: int) -> str:
+    if distance >= 1024:
+        return f"{distance // 1024}K"
+    return str(distance)
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    runner: MatrixRunner | None = None,
+    workloads: tuple[str, ...] = WORKLOAD_ORDER,
+    scenarios: tuple[str, ...] = SCENARIO_ORDER,
+) -> Report:
+    runner = runner or MatrixRunner(config)
+    report = Report(
+        title="Table 6: selected anchor distances (ours / paper)",
+        headers=["workload"] + list(scenarios),
+    )
+    for workload in workloads:
+        row: list[object] = [workload]
+        for scenario in scenarios:
+            mapping = runner.mapping(workload, scenario)
+            distance = select_distance(contiguity_histogram(mapping))
+            paper = PAPER_TABLE6.get(workload, {}).get(scenario)
+            row.append(f"{_fmt(distance)}/{_fmt(paper) if paper else '-'}")
+        report.table.append(row)
+    report.notes.append(
+        "low contiguity should select 4 everywhere; medium 16-32; "
+        "demand/eager/max large for big-array apps, small for small-heap apps"
+    )
+    return report
+
+
+def selected_distances(
+    runner: MatrixRunner,
+    scenario: str,
+    workloads: tuple[str, ...] = WORKLOAD_ORDER,
+) -> dict[str, int]:
+    """Raw selections for one scenario (used by tests/benches)."""
+    out = {}
+    for workload in workloads:
+        mapping = runner.mapping(workload, scenario)
+        out[workload] = select_distance(contiguity_histogram(mapping))
+    return out

@@ -1,0 +1,106 @@
+"""Generic TLB arrays with true-LRU replacement.
+
+Both structures store opaque values under integer keys.  The
+set-associative array takes the set index from the caller because
+different entry types index the same physical array with different
+address bits (Fig. 6: anchor entries use VA bits [d+12, d+12+N), regular
+entries the usual [12, 12+N)); the caller owns that mapping.
+
+LRU is implemented with insertion-ordered dicts: a hit reinserts the
+key, eviction pops the oldest.  This is exact LRU, matching the
+reference model used by the property tests.
+"""
+
+from __future__ import annotations
+
+from repro.params import is_pow2
+
+
+class SetAssociativeTLB:
+    """A set-associative array of ``entries`` slots, ``ways`` per set."""
+
+    __slots__ = ("entries", "ways", "sets", "index_mask", "_sets")
+
+    def __init__(self, entries: int, ways: int) -> None:
+        if entries <= 0 or ways <= 0 or entries % ways:
+            raise ValueError("entries must be a positive multiple of ways")
+        sets = entries // ways
+        if not is_pow2(sets):
+            raise ValueError(f"set count {sets} must be a power of two")
+        self.entries = entries
+        self.ways = ways
+        self.sets = sets
+        self.index_mask = sets - 1
+        self._sets: list[dict[int, object]] = [dict() for _ in range(sets)]
+
+    def lookup(self, index: int, key: int) -> object | None:
+        """Return the value stored under ``key`` (touching LRU) or None."""
+        bucket = self._sets[index & self.index_mask]
+        value = bucket.get(key)
+        if value is not None:
+            del bucket[key]
+            bucket[key] = value
+        return value
+
+    def insert(self, index: int, key: int, value: object) -> None:
+        """Insert/refresh an entry, evicting LRU on conflict."""
+        bucket = self._sets[index & self.index_mask]
+        if key in bucket:
+            del bucket[key]
+        elif len(bucket) >= self.ways:
+            del bucket[next(iter(bucket))]
+        bucket[key] = value
+
+    def invalidate(self, index: int, key: int) -> bool:
+        bucket = self._sets[index & self.index_mask]
+        return bucket.pop(key, None) is not None
+
+    def flush(self) -> None:
+        for bucket in self._sets:
+            bucket.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)
+
+    def keys(self) -> list[int]:
+        return [key for bucket in self._sets for key in bucket]
+
+
+class FullyAssociativeTLB:
+    """A fully associative array with true LRU (used by the range TLB)."""
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: dict[int, object] = {}
+
+    def lookup(self, key: int) -> object | None:
+        value = self._entries.get(key)
+        if value is not None:
+            del self._entries[key]
+            self._entries[key] = value
+        return value
+
+    def insert(self, key: int, value: object) -> None:
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.capacity:
+            del self._entries[next(iter(self._entries))]
+        self._entries[key] = value
+
+    def values(self):
+        return list(self._entries.values())
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries

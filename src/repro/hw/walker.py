@@ -1,0 +1,95 @@
+"""The hardware page-table walker.
+
+On an L2 (and, where present, coalesced-structure) miss the walker
+resolves the translation from the page table and reports what the fill
+logic needs: the 4 KiB PFN, whether the leaf was a 2 MiB page, and — for
+the anchor scheme — the anchor PTE of the missing page's window, which
+the walker fetches off the critical path (Fig. 5c, step 7).
+
+Two backends are provided.  The *radix* backend walks a real
+:class:`~repro.vmos.page_table.PageTable` and counts per-level memory
+accesses; it is bit-accurate and used by the fidelity tests and
+examples.  The *flat* backend resolves from the scheme's precomputed
+maps in O(1) and is what the trace simulator uses; both return identical
+translations (enforced by differential tests), the flat one simply skips
+modelling the radix traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PageFaultError
+from repro.params import HUGE_PAGE_PAGES
+from repro.vmos.anchor import AnchorDirectory
+from repro.vmos.page_table import PageTable
+
+
+@dataclass(frozen=True)
+class WalkOutcome:
+    """What a completed walk tells the TLB fill logic."""
+
+    pfn: int
+    huge: bool
+    leaf_vpn: int               #: hvpn<<9 for huge leaves, vpn otherwise
+    anchor_vpn: int | None      #: AVPN whose PTE was also fetched (anchor mode)
+    anchor_pfn: int | None
+    anchor_contiguity: int
+    memory_accesses: int
+
+
+class PageWalker:
+    """Walker over an :class:`AnchorDirectory` coverage plan."""
+
+    def __init__(
+        self,
+        directory: AnchorDirectory,
+        page_table: PageTable | None = None,
+    ) -> None:
+        self._directory = directory
+        self._page_table = page_table
+        self.walks = 0
+
+    def walk(self, vpn: int, fetch_anchor: bool = False) -> WalkOutcome:
+        """Resolve ``vpn``; optionally also fetch its anchor PTE."""
+        self.walks += 1
+        directory = self._directory
+        hvpn_base = vpn & ~(HUGE_PAGE_PAGES - 1)
+        huge_base = directory.huge.get(hvpn_base)
+        if huge_base is not None:
+            return WalkOutcome(
+                pfn=huge_base + (vpn - hvpn_base),
+                huge=True,
+                leaf_vpn=hvpn_base,
+                anchor_vpn=None,
+                anchor_pfn=None,
+                anchor_contiguity=0,
+                memory_accesses=3,
+            )
+        pfn = directory.small.get(vpn)
+        if pfn is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        anchor_vpn = anchor_pfn = None
+        contiguity = 0
+        if fetch_anchor:
+            anchor_vpn = directory.anchor_of(vpn)
+            contiguity = directory.anchor_contiguity.get(anchor_vpn, 0)
+            anchor_pfn = directory.small.get(anchor_vpn)
+            if anchor_pfn is None:
+                anchor_vpn = None
+                contiguity = 0
+        return WalkOutcome(
+            pfn=pfn,
+            huge=False,
+            leaf_vpn=vpn,
+            anchor_vpn=anchor_vpn,
+            anchor_pfn=anchor_pfn,
+            anchor_contiguity=contiguity,
+            memory_accesses=4,
+        )
+
+    def walk_radix(self, vpn: int):
+        """Walk the real radix table (fidelity mode)."""
+        if self._page_table is None:
+            raise ValueError("no radix page table attached")
+        return self._page_table.walk(vpn)

@@ -1,0 +1,15 @@
+"""Physical memory substrates: buddy allocation, fragmentation, NUMA."""
+
+from repro.mem.frames import FrameRange
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.physmem import PhysicalMemory, FragmentationProfile
+from repro.mem.numa import NumaNode, NumaTopology
+
+__all__ = [
+    "FrameRange",
+    "BuddyAllocator",
+    "PhysicalMemory",
+    "FragmentationProfile",
+    "NumaNode",
+    "NumaTopology",
+]

@@ -1,0 +1,59 @@
+"""Physical frame ranges.
+
+A :class:`FrameRange` is a run of physically contiguous 4 KiB frames —
+the unit in which the buddy allocator hands memory to the OS layer and
+in which mapping generators build virtual-to-physical maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class FrameRange:
+    """A contiguous run of physical frames ``[start, start + count)``."""
+
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("frame range start must be non-negative")
+        if self.count <= 0:
+            raise ValueError("frame range count must be positive")
+
+    @property
+    def end(self) -> int:
+        """One past the last frame."""
+        return self.start + self.count
+
+    def __contains__(self, pfn: int) -> bool:
+        return self.start <= pfn < self.end
+
+    def overlaps(self, other: "FrameRange") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def split(self, count: int) -> tuple["FrameRange", "FrameRange"]:
+        """Split into a head of ``count`` frames and the remaining tail."""
+        if not 0 < count < self.count:
+            raise ValueError(f"cannot split {self.count} frames at {count}")
+        return (
+            FrameRange(self.start, count),
+            FrameRange(self.start + count, self.count - count),
+        )
+
+
+def coalesce_ranges(ranges: list[FrameRange]) -> list[FrameRange]:
+    """Merge adjacent/overlapping ranges into maximal contiguous runs."""
+    if not ranges:
+        return []
+    merged: list[FrameRange] = []
+    for current in sorted(ranges):
+        if merged and current.start <= merged[-1].end:
+            last = merged.pop()
+            end = max(last.end, current.end)
+            merged.append(FrameRange(last.start, end - last.start))
+        else:
+            merged.append(current)
+    return merged

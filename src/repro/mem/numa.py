@@ -1,0 +1,99 @@
+"""NUMA / heterogeneous memory topology substrate.
+
+Section 2.2 of the paper motivates hybrid coalescing with the growing
+non-uniformity of memory: multi-socket NUMA, die-stacked near memory and
+NVM far memory all want *fine-grained* page placement, which conflicts
+with the large contiguous chunks that huge pages and segments need.
+
+This module provides the topology model used by the ``numa_finegrain``
+example and the fine-grained-placement mapping generator: several nodes
+with distinct access latencies, each backed by its own buddy allocator,
+plus an interleaving placement policy that deliberately scatters hot
+pages onto the fast node — producing exactly the fragmented mappings the
+anchor scheme is designed to cope with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OutOfMemoryError
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.frames import FrameRange
+
+
+@dataclass
+class NumaNode:
+    """One memory node: a frame window with an access latency."""
+
+    node_id: int
+    base_frame: int
+    frames: int
+    latency_cycles: int
+    allocator: BuddyAllocator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.allocator = BuddyAllocator(self.frames)
+
+    def alloc(self, order: int) -> FrameRange:
+        local = self.allocator.alloc_order(order)
+        return FrameRange(self.base_frame + local.start, local.count)
+
+    def free(self, block: FrameRange) -> None:
+        self.allocator.free(FrameRange(block.start - self.base_frame, block.count))
+
+    def owns(self, pfn: int) -> bool:
+        return self.base_frame <= pfn < self.base_frame + self.frames
+
+
+class NumaTopology:
+    """A set of NUMA nodes with a global physical frame space."""
+
+    def __init__(self, node_specs: list[tuple[int, int]]) -> None:
+        """``node_specs`` is a list of ``(frames, latency_cycles)``."""
+        if not node_specs:
+            raise ValueError("at least one node is required")
+        self.nodes: list[NumaNode] = []
+        base = 0
+        for node_id, (frames, latency) in enumerate(node_specs):
+            self.nodes.append(NumaNode(node_id, base, frames, latency))
+            base += frames
+
+    @classmethod
+    def two_tier(
+        cls,
+        near_frames: int = 1 << 16,
+        far_frames: int = 1 << 18,
+        near_latency: int = 80,
+        far_latency: int = 240,
+    ) -> "NumaTopology":
+        """A near/far two-tier memory (stacked DRAM + NVM style)."""
+        return cls([(near_frames, near_latency), (far_frames, far_latency)])
+
+    @property
+    def total_frames(self) -> int:
+        return sum(n.frames for n in self.nodes)
+
+    def node_of(self, pfn: int) -> NumaNode:
+        for node in self.nodes:
+            if node.owns(pfn):
+                return node
+        raise ValueError(f"pfn {pfn} outside topology")
+
+    def latency_of(self, pfn: int) -> int:
+        return self.node_of(pfn).latency_cycles
+
+    def alloc_on(self, node_id: int, order: int) -> FrameRange:
+        return self.nodes[node_id].alloc(order)
+
+    def alloc_preferring(self, node_id: int, order: int) -> FrameRange:
+        """Allocate on ``node_id`` if possible, spilling to other nodes."""
+        candidates = [self.nodes[node_id]] + [
+            n for n in self.nodes if n.node_id != node_id
+        ]
+        for node in candidates:
+            try:
+                return node.alloc(order)
+            except OutOfMemoryError:
+                continue
+        raise OutOfMemoryError("all NUMA nodes exhausted")

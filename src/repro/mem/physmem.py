@@ -1,0 +1,99 @@
+"""Physical memory facade: a buddy allocator plus a fragmentation state.
+
+A :class:`PhysicalMemory` bundles the buddy allocator with a
+reproducible *fragmentation profile* — the memory-pressure state left by
+background processes — so mapping scenarios can be generated against a
+controlled amount of physical contiguity.  The profiles span the same
+spectrum the paper observes on its real machines (Fig. 1): from a
+pristine machine where 2 MiB and larger blocks abound, to a heavily
+fragmented one where only small orders survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.frames import FrameRange
+from repro.util.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class FragmentationProfile:
+    """How badly physical memory is fragmented before the workload runs.
+
+    ``hold_fraction`` is the share of physical memory pinned by
+    background jobs; ``order_range`` is the block-order range those jobs
+    allocate in.  Small orders with a high hold fraction shatter the
+    buddy free lists.
+    """
+
+    name: str
+    hold_fraction: float
+    order_range: tuple[int, int] = (0, 4)
+
+
+#: Profiles used by the experiments.  ``pristine`` leaves contiguity
+#: intact (freshly booted machine); ``light`` through ``heavy`` model
+#: increasing numbers of PARSEC-style background co-runners.
+PROFILES = {
+    "pristine": FragmentationProfile("pristine", 0.0),
+    "light": FragmentationProfile("light", 0.15, (0, 5)),
+    "moderate": FragmentationProfile("moderate", 0.35, (0, 4)),
+    "heavy": FragmentationProfile("heavy", 0.55, (0, 3)),
+    # A machine thrashed by many tiny allocations: order-9 requests
+    # almost always fail, so THP falls back to 4 KiB faults (the worst
+    # runs of the paper's Fig. 1).
+    "severe": FragmentationProfile("severe", 0.72, (0, 1)),
+}
+
+
+class PhysicalMemory:
+    """Buddy-managed physical memory with optional pre-fragmentation."""
+
+    def __init__(
+        self,
+        total_frames: int = 1 << 20,  # 4 GiB of 4 KiB frames
+        profile: FragmentationProfile | str = "pristine",
+        seed: int | None = None,
+    ) -> None:
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        self.profile = profile
+        self.buddy = BuddyAllocator(total_frames)
+        self._background: list[FrameRange] = []
+        if profile.hold_fraction:
+            rng = spawn_rng(seed, "fragmentation", profile.name)
+            self._background = self.buddy.fragment(
+                rng, profile.hold_fraction, profile.order_range
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_frames(self) -> int:
+        return self.buddy.total_frames
+
+    @property
+    def free_frames(self) -> int:
+        return self.buddy.free_frames
+
+    @property
+    def background_frames(self) -> int:
+        return sum(r.count for r in self._background)
+
+    def release_background(self, fraction: float, rng: np.random.Generator) -> None:
+        """Free a fraction of the background blocks (a co-runner exits)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        count = int(len(self._background) * fraction)
+        order = rng.permutation(len(self._background))
+        for i in sorted(order[:count], reverse=True):
+            self.buddy.free(self._background[i])
+            del self._background[i]
+
+    def contiguity_signature(self) -> dict[int, int]:
+        """Free blocks per order — a compact fragmentation fingerprint."""
+        return self.buddy.free_blocks_by_order()

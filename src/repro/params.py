@@ -1,0 +1,166 @@
+"""Architectural constants and hardware configurations.
+
+This module encodes the fixed facts of the modelled machine — an
+x86-64-style virtual memory system — together with the TLB
+configurations of Table 3 of the paper and the synthetic mapping
+scenario definitions of Table 4.
+
+All sizes here are expressed in units of 4KB *pages* unless a name says
+otherwise.  Virtual page numbers (VPNs) and physical frame numbers
+(PFNs) are plain Python ints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# ---------------------------------------------------------------------------
+# Paging geometry (x86-64, 4-level paging)
+# ---------------------------------------------------------------------------
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT          # 4 KiB
+VA_BITS = 48                         # canonical 4-level virtual address width
+VPN_BITS = VA_BITS - PAGE_SHIFT      # 36 bits of virtual page number
+PTE_PER_TABLE = 512                  # entries per radix node (9 bits / level)
+PT_LEVELS = 4                        # PML4 -> PDPT -> PD -> PT
+PTES_PER_CACHE_LINE = 8              # 64B line / 8B PTE
+
+HUGE_PAGE_PAGES = 512                # 2 MiB huge page, in 4 KiB pages
+GIGA_PAGE_PAGES = 512 * 512          # 1 GiB page, in 4 KiB pages
+
+#: Width of the anchor contiguity field used throughout the paper's
+#: evaluation: 16 bits, i.e. one anchor can describe up to 2**16
+#: contiguous 4 KiB pages (256 MiB).
+CONTIGUITY_BITS = 16
+MAX_CONTIGUITY = 1 << CONTIGUITY_BITS
+
+#: Candidate anchor distances considered by the OS selection algorithm
+#: (Algorithm 1): powers of two from 2 up to 2**16 pages.
+ANCHOR_DISTANCES = tuple(1 << i for i in range(1, CONTIGUITY_BITS + 1))
+
+
+def is_pow2(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Align ``value`` down to a power-of-two ``alignment``."""
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Align ``value`` up to a power-of-two ``alignment``."""
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+# ---------------------------------------------------------------------------
+# TLB configurations (Table 3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TLBGeometry:
+    """Geometry of one set-associative TLB array."""
+
+    entries: int
+    ways: int
+
+    def __post_init__(self) -> None:
+        if self.entries % self.ways:
+            raise ValueError(
+                f"entries ({self.entries}) must be a multiple of ways ({self.ways})"
+            )
+
+    @property
+    def sets(self) -> int:
+        return self.entries // self.ways
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Translation latencies in cycles (Table 3).
+
+    The L1 TLB is accessed in parallel with the L1 cache, so an L1 TLB
+    hit contributes zero cycles to the translation CPI.  All other
+    events are charged as below.
+    """
+
+    l2_hit: int = 7
+    #: Hit in a cluster TLB, RMM range TLB, or anchor entry.
+    coalesced_hit: int = 8
+    page_walk: int = 50
+    #: Cycles per page-table memory access when the optional page-walk
+    #: caches are enabled (4 uncached accesses ~ the flat 50-cycle walk).
+    walk_step: int = 13
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The full hardware configuration shared by every scheme.
+
+    Matches the *Common* rows of Table 3.  Scheme-specific structures
+    (cluster partition, range TLB) carry their own geometry constants
+    defined below.
+    """
+
+    l1_4k: TLBGeometry = field(default_factory=lambda: TLBGeometry(64, 4))
+    l1_2m: TLBGeometry = field(default_factory=lambda: TLBGeometry(32, 4))
+    #: Separate small structures for 1 GiB pages (paper §2.1: "the 1GB
+    #: pages use a separate and smaller 1GB page L2 TLB").
+    l1_1g: TLBGeometry = field(default_factory=lambda: TLBGeometry(4, 4))
+    l2_1g: TLBGeometry = field(default_factory=lambda: TLBGeometry(16, 4))
+    l2: TLBGeometry = field(default_factory=lambda: TLBGeometry(1024, 8))
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    #: Enable the page-walk caches (miss-penalty-reduction extension;
+    #: see :mod:`repro.hw.pwc`).  Off by default — the paper charges a
+    #: flat 50-cycle walk.
+    pwc: bool = False
+
+
+#: Cluster TLB partition (Table 3): the 1024-entry L2 budget is split
+#: into a 768-entry/6-way regular TLB and a 320-entry/5-way cluster-8
+#: TLB.
+CLUSTER_REGULAR = TLBGeometry(768, 6)
+CLUSTER_CLUSTERED = TLBGeometry(320, 5)
+CLUSTER_FACTOR = 8                    # pages coalesced per cluster entry
+
+#: RMM range TLB: 32 entries, fully associative.
+RANGE_TLB_ENTRIES = 32
+
+#: CoLT set-associative coalescing limit (4-8 pages in the papers;
+#: we model the 8-page variant to be comparable with cluster-8).
+COLT_MAX_COALESCE = 8
+
+DEFAULT_MACHINE = MachineConfig()
+
+
+# ---------------------------------------------------------------------------
+# Synthetic mapping scenarios (Table 4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ContiguityRange:
+    """Uniform random chunk-size range, in 4 KiB pages, for a scenario."""
+
+    min_pages: int
+    max_pages: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_pages <= self.max_pages:
+            raise ValueError("invalid contiguity range")
+
+
+#: Table 4.  ``max`` contiguity is special-cased: every allocation
+#: region is mapped fully contiguously, so the range spans everything.
+SCENARIO_RANGES = {
+    "low": ContiguityRange(1, 16),            # 4 KB - 64 KB
+    "medium": ContiguityRange(1, 512),        # 4 KB - 2 MB
+    "high": ContiguityRange(512, 65_536),     # 2 MB - 256 MB
+    "max": ContiguityRange(1, MAX_CONTIGUITY),
+}
+
+#: Canonical order of the six mapping scenarios as plotted in Fig. 9.
+SCENARIO_ORDER = ("demand", "eager", "low", "medium", "high", "max")

@@ -1,0 +1,34 @@
+"""Translation schemes evaluated by the paper (plus CoLT as an extra).
+
+Every scheme owns its TLB hierarchy and exposes ``access(vpn) -> cycles``
+plus a :class:`~repro.sim.stats.TranslationStats`.  All schemes share the
+L1 of Table 3 and translate identically to the ground-truth mapping
+(enforced by differential tests); they differ only in what the L2 level
+can coalesce.
+"""
+
+from repro.schemes.base import TranslationScheme
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.thp import THPScheme
+from repro.schemes.cluster_scheme import ClusterScheme
+from repro.schemes.colt_scheme import ColtScheme
+from repro.schemes.prefetch_scheme import PrefetchScheme
+from repro.schemes.rmm import RMMScheme
+from repro.schemes.anchor_scheme import AnchorScheme
+from repro.schemes.region_anchor_scheme import RegionAnchorScheme
+from repro.schemes.registry import SCHEME_ORDER, make_scheme, scheme_names
+
+__all__ = [
+    "TranslationScheme",
+    "BaselineScheme",
+    "THPScheme",
+    "ClusterScheme",
+    "ColtScheme",
+    "PrefetchScheme",
+    "RMMScheme",
+    "AnchorScheme",
+    "RegionAnchorScheme",
+    "SCHEME_ORDER",
+    "make_scheme",
+    "scheme_names",
+]

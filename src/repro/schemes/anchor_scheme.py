@@ -1,0 +1,198 @@
+"""``Anchor``: the paper's hybrid TLB coalescing scheme (§3).
+
+The shared L2 holds 4 KiB, 2 MiB and anchor entries (Table 3, Anchor
+row).  The OS plans coverage with :class:`AnchorDirectory` — anchors at
+every distance-aligned 4 KiB leaf, plus 2 MiB promotion where that beats
+anchors — and the hardware follows the lookup flow of Fig. 5 / Table 2:
+
+====================  ============  ===========  =======================
+regular entry         anchor entry  contiguity   action
+====================  ============  ===========  =======================
+hit                   —             —            done (7 cycles)
+miss                  hit           match        done (8 cycles)
+miss                  hit           no match     walk, fill regular
+miss                  miss          match        walk, fill *anchor only*
+miss                  miss          no match     walk, fill regular only
+====================  ============  ===========  =======================
+
+Two variants are exposed: ``dynamic`` picks the distance with
+Algorithm 1 (and may re-pick at epoch boundaries, paying the §3.3
+distance-change cost), and fixed-distance instances are used by the
+``static-ideal`` exhaustive search.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageFaultError
+from repro.params import DEFAULT_MACHINE, MachineConfig
+from repro.hw.anchor_tlb import AnchorL2TLB
+from repro.schemes.base import TranslationScheme
+from repro.vmos.anchor import AnchorDirectory
+from repro.vmos.contiguity import contiguity_histogram
+from repro.vmos.distance import select_distance
+from repro.vmos.mapping import MemoryMapping
+from repro.vmos.shootdown import ShootdownLog
+
+_HUGE_SHIFT = 9
+
+
+class AnchorScheme(TranslationScheme):
+    """Hybrid coalescing with a process-wide anchor distance."""
+
+    name = "anchor"
+
+    def __init__(
+        self,
+        mapping: MemoryMapping,
+        config: MachineConfig = DEFAULT_MACHINE,
+        distance: int | None = None,
+        enable_thp: bool = True,
+    ) -> None:
+        """``distance=None`` selects dynamically via Algorithm 1."""
+        super().__init__(mapping, config)
+        self.dynamic = distance is None
+        self.name = "anchor-dyn" if self.dynamic else f"anchor-d{distance}"
+        self.enable_thp = enable_thp
+        self.shootdowns = ShootdownLog()
+        if distance is None:
+            distance = select_distance(contiguity_histogram(mapping))
+        self.directory = AnchorDirectory.build(mapping, distance, enable_thp)
+        self.l2 = AnchorL2TLB(config, distance)
+        self._dlog = distance.bit_length() - 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def distance(self) -> int:
+        return self.directory.distance
+
+    def access(self, vpn: int) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        latency = self.config.latency
+        directory = self.directory
+        hvpn = vpn >> _HUGE_SHIFT
+        huge_base = directory.huge.get(hvpn << _HUGE_SHIFT)
+        if huge_base is not None:
+            if self.l1.huge.lookup(hvpn, hvpn) is not None:
+                stats.l1_hits += 1
+                return 0
+            if self.l2.lookup_huge(hvpn) is not None:
+                stats.l2_huge_hits += 1
+                self.l1.fill_huge(hvpn, huge_base)
+                return latency.l2_hit
+            stats.walks += 1
+            self.l2.fill_huge(hvpn, huge_base)
+            self.l1.fill_huge(hvpn, huge_base)
+            return self._walk_cycles(vpn, huge=True)
+        if self.l1.small.lookup(vpn, vpn) is not None:
+            stats.l1_hits += 1
+            return 0
+        pfn = self.l2.lookup_small(vpn)
+        if pfn is not None:
+            stats.l2_small_hits += 1
+            self.l1.fill_small(vpn, pfn)
+            return latency.l2_hit
+        pfn = self.l2.lookup_anchor(vpn)
+        if pfn is not None:
+            stats.coalesced_hits += 1
+            self.l1.fill_small(vpn, pfn)
+            return latency.coalesced_hit
+        # Walk: fetch the regular PTE (critical path), then the anchor
+        # PTE; fill exactly one of the two (Table 2, rows 3-5).
+        pfn = directory.small.get(vpn)
+        if pfn is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        stats.walks += 1
+        avpn = vpn >> self._dlog << self._dlog
+        contiguity = directory.anchor_contiguity.get(avpn, 0)
+        if vpn - avpn < contiguity:
+            self.l2.fill_anchor(avpn, directory.small[avpn], contiguity)
+        else:
+            self.l2.fill_small(vpn, pfn)
+        self.l1.fill_small(vpn, pfn)
+        return self._walk_cycles(vpn)
+
+    # ------------------------------------------------------------------
+    # Dynamic distance management (epoch boundary hook)
+    # ------------------------------------------------------------------
+
+    def reselect_distance(self) -> tuple[int, bool]:
+        """Re-run Algorithm 1 (an OS epoch tick, §4.1).
+
+        Rebuilds the coverage plan and flushes the TLBs when the pick
+        changes; the OS-side cost lands in :attr:`shootdowns`.  Returns
+        ``(distance, changed)``.
+        """
+        if not self.dynamic:
+            return self.distance, False
+        picked = select_distance(contiguity_histogram(self.mapping))
+        if picked == self.distance:
+            return picked, False
+        self.shootdowns.record_distance_change(self.mapping.mapped_pages, picked)
+        self.directory = AnchorDirectory.build(self.mapping, picked, self.enable_thp)
+        self._dlog = picked.bit_length() - 1
+        self.l2.set_distance(picked)
+        self.l1.flush()
+        return picked, True
+
+    # ------------------------------------------------------------------
+    # OS mapping updates (§3.3): incremental anchor maintenance plus the
+    # targeted TLB shootdown of the page and every anchor spanning it.
+    # ------------------------------------------------------------------
+
+    def _shootdown_page(self, vpn: int, anchors: list[int]) -> None:
+        self.l1.small.invalidate(vpn, vpn)
+        self.l2.invalidate_small(vpn)
+        for avpn in anchors:
+            self.l2.invalidate_anchor(avpn)
+        self.shootdowns.record_unmap(1, self.distance)
+
+    def unmap_page(self, vpn: int) -> int:
+        """Unmap one 4 KiB page: page table, anchors, and TLBs."""
+        anchors = self.directory.anchors_spanning(vpn)
+        pfn = self.directory.note_unmap(vpn)
+        self.mapping.unmap_page(vpn)
+        self._ground_truth.pop(vpn, None)
+        self._shootdown_page(vpn, anchors)
+        return pfn
+
+    def map_page(self, vpn: int, pfn: int) -> None:
+        """Map one 4 KiB page, merging it into surrounding anchor runs."""
+        self.directory.note_map(vpn, pfn)
+        self.mapping.map_page(vpn, pfn)
+        self._ground_truth[vpn] = pfn
+        # Stale anchors around the new page now under-report contiguity;
+        # invalidate them so refills pick up the merged runs.
+        self._shootdown_page(vpn, self.directory.anchors_spanning(vpn))
+
+    def protect_page(self, vpn: int, prot: int) -> None:
+        """Change one page's protection, splitting coalesced coverage."""
+        anchors = self.directory.anchors_spanning(vpn)
+        self.directory.note_protect(vpn, prot)
+        self.mapping.set_protection(vpn, 1, prot)
+        self._shootdown_page(vpn, anchors)
+
+    def rebuild(self, mapping: MemoryMapping) -> None:
+        """Adopt an updated mapping (allocation/relocation), flushing TLBs."""
+        self.mapping = mapping
+        self._ground_truth = mapping.as_dict()
+        self.directory = AnchorDirectory.build(mapping, self.distance, self.enable_thp)
+        self.flush()
+
+    def translate(self, vpn: int) -> int:
+        directory = self.directory
+        huge_base = directory.huge.get((vpn >> _HUGE_SHIFT) << _HUGE_SHIFT)
+        if huge_base is not None:
+            return huge_base + (vpn & ((1 << _HUGE_SHIFT) - 1))
+        via_anchor = directory.translate_via_anchor(vpn)
+        if via_anchor is not None:
+            return via_anchor
+        pfn = directory.small.get(vpn)
+        if pfn is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        return pfn
+
+    def flush(self) -> None:
+        super().flush()
+        self.l2.flush()

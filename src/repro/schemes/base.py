@@ -1,0 +1,142 @@
+"""The abstract translation scheme.
+
+A scheme is the pairing of a hardware TLB organisation with the OS
+coverage plan it needs (huge-page promotion, anchors, ranges).  The
+simulator calls :meth:`access` once per memory reference; the return
+value is the translation latency in cycles charged to that reference
+(0 for an L1 hit, since the L1 probe overlaps the cache access).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable
+
+from repro.errors import PageFaultError
+from repro.params import DEFAULT_MACHINE, HUGE_PAGE_PAGES, MachineConfig
+from repro.hw.l1 import L1TLB
+from repro.hw.pwc import PageWalkCache
+from repro.sim.stats import TranslationStats
+from repro.vmos.mapping import MemoryMapping
+
+
+class TranslationScheme(abc.ABC):
+    """Base class for all translation schemes."""
+
+    #: Short identifier used in reports (matches the paper's legends).
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        mapping: MemoryMapping,
+        config: MachineConfig = DEFAULT_MACHINE,
+    ) -> None:
+        self.mapping = mapping
+        self.config = config
+        self.l1 = L1TLB(config)
+        self.pwc = PageWalkCache() if config.pwc else None
+        self.stats = TranslationStats(latency=config.latency)
+        self._ground_truth = mapping.as_dict()
+
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def access(self, vpn: int) -> int:
+        """Translate one reference; update stats; return cycles charged."""
+
+    def run(self, trace: Iterable[int]) -> TranslationStats:
+        """Drive a whole trace through the scheme."""
+        access = self.access
+        for vpn in trace:
+            access(int(vpn))
+        self.stats.check_conservation()
+        return self.stats
+
+    def flush(self) -> None:
+        """Flush all TLB state (context switch / shootdown)."""
+        self.l1.flush()
+        if self.pwc is not None:
+            self.pwc.flush()
+
+    def _walk_cycles(self, vpn: int, huge: bool = False) -> int:
+        """Cycles charged for a page walk.
+
+        Flat 50 cycles (Table 3) unless the page-walk caches are
+        enabled, in which case the walk costs ``walk_step`` cycles per
+        page-table memory access actually performed.
+        """
+        if self.pwc is None:
+            return self.config.latency.page_walk
+        accesses = self.pwc.accesses_for(vpn, huge)
+        self.stats.walk_pt_accesses += accesses
+        return self.config.latency.walk_step * accesses
+
+    # ------------------------------------------------------------------
+    # Verification helpers
+    # ------------------------------------------------------------------
+
+    def translate_checked(self, vpn: int) -> int:
+        """Translate and assert agreement with the ground-truth mapping."""
+        expected = self._ground_truth.get(vpn)
+        if expected is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        actual = self.translate(vpn)
+        if actual != expected:
+            raise AssertionError(
+                f"{self.name}: vpn {vpn:#x} -> {actual:#x}, expected {expected:#x}"
+            )
+        return actual
+
+    @abc.abstractmethod
+    def translate(self, vpn: int) -> int:
+        """Pure translation via the scheme's structures (no stats)."""
+
+
+def promote_giga_pages(
+    mapping: MemoryMapping,
+) -> tuple[dict[int, int], dict[int, int]]:
+    """1 GiB promotion: aligned, fully contiguous 262,144-page windows.
+
+    Returns ``(giga, rest)``: ``giga`` maps each promoted window's base
+    VPN to its base PFN; ``rest`` holds everything else (still eligible
+    for 2 MiB promotion).
+    """
+    giga_pages = HUGE_PAGE_PAGES * 512
+    giga: dict[int, int] = {}
+    for chunk in mapping.chunks():
+        if (chunk.pfn - chunk.vpn) % giga_pages:
+            continue
+        lo = (chunk.vpn + giga_pages - 1) & ~(giga_pages - 1)
+        hi = chunk.end_vpn & ~(giga_pages - 1)
+        for gvpn in range(lo, hi, giga_pages):
+            giga[gvpn] = chunk.pfn + (gvpn - chunk.vpn)
+    rest = {
+        vpn: pfn
+        for vpn, pfn in mapping.items()
+        if (vpn & ~(giga_pages - 1)) not in giga
+    }
+    return giga, rest
+
+
+def promote_huge_pages(mapping: MemoryMapping) -> tuple[dict[int, int], dict[int, int]]:
+    """THP promotion used by every 2 MiB-capable scheme except anchor.
+
+    Returns ``(huge, small)``: ``huge`` maps each promoted window's base
+    VPN to its base PFN, ``small`` holds the remaining 4 KiB pages.
+    Promotion requires a full 512-page run whose VA and PA share the
+    2 MiB alignment phase.
+    """
+    huge: dict[int, int] = {}
+    for chunk in mapping.chunks():
+        if (chunk.pfn - chunk.vpn) % HUGE_PAGE_PAGES:
+            continue
+        lo = (chunk.vpn + HUGE_PAGE_PAGES - 1) & ~(HUGE_PAGE_PAGES - 1)
+        hi = chunk.end_vpn & ~(HUGE_PAGE_PAGES - 1)
+        for hvpn in range(lo, hi, HUGE_PAGE_PAGES):
+            huge[hvpn] = chunk.pfn + (hvpn - chunk.vpn)
+    small = {
+        vpn: pfn
+        for vpn, pfn in mapping.items()
+        if (vpn & ~(HUGE_PAGE_PAGES - 1)) not in huge
+    }
+    return huge, small

@@ -1,0 +1,58 @@
+"""``Base``: 4 KiB pages only (Table 3, Baseline row).
+
+The reference point of every figure — no huge pages, no coalescing, a
+plain 1024-entry 8-way L2 of 4 KiB entries.  All miss counts in the
+experiments are reported relative to this scheme.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageFaultError
+from repro.params import DEFAULT_MACHINE, MachineConfig
+from repro.hw.tlb import SetAssociativeTLB
+from repro.schemes.base import TranslationScheme
+from repro.vmos.mapping import MemoryMapping
+
+
+class BaselineScheme(TranslationScheme):
+    """4 KiB-only two-level TLB hierarchy."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        mapping: MemoryMapping,
+        config: MachineConfig = DEFAULT_MACHINE,
+    ) -> None:
+        super().__init__(mapping, config)
+        self.l2 = SetAssociativeTLB(config.l2.entries, config.l2.ways)
+        self._small = mapping.as_dict()
+
+    def access(self, vpn: int) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        if self.l1.small.lookup(vpn, vpn) is not None:
+            stats.l1_hits += 1
+            return 0
+        pfn = self.l2.lookup(vpn, vpn)
+        if pfn is not None:
+            stats.l2_small_hits += 1
+            self.l1.fill_small(vpn, pfn)  # type: ignore[arg-type]
+            return self.config.latency.l2_hit
+        pfn = self._small.get(vpn)
+        if pfn is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        stats.walks += 1
+        self.l2.insert(vpn, vpn, pfn)
+        self.l1.fill_small(vpn, pfn)
+        return self._walk_cycles(vpn)
+
+    def translate(self, vpn: int) -> int:
+        pfn = self._small.get(vpn)
+        if pfn is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        return pfn
+
+    def flush(self) -> None:
+        super().flush()
+        self.l2.flush()

@@ -1,0 +1,73 @@
+"""``CoLT``: coalesced large-reach TLB (Pham et al., MICRO'12).
+
+An extension beyond the paper's comparison set (the paper cites CoLT as
+prior work alongside cluster TLB).  CoLT-SA keeps a unified
+set-associative L2 whose entries can each cover a contiguous run of up
+to eight pages from one PTE cache line; the run must be contiguous in
+both VA and PA, making it strictly weaker than a cluster entry but with
+no partitioning of the TLB budget.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageFaultError
+from repro.params import DEFAULT_MACHINE, MachineConfig
+from repro.hw.cluster import ColtEntry, build_colt_entry
+from repro.hw.tlb import SetAssociativeTLB
+from repro.schemes.base import TranslationScheme
+from repro.vmos.mapping import MemoryMapping
+
+_LINE_SHIFT = 3  # 8 PTEs per cache line
+
+
+class ColtScheme(TranslationScheme):
+    """Unified L2 of coalesced (up to 8-page) entries."""
+
+    name = "colt"
+
+    def __init__(
+        self,
+        mapping: MemoryMapping,
+        config: MachineConfig = DEFAULT_MACHINE,
+    ) -> None:
+        super().__init__(mapping, config)
+        self.l2 = SetAssociativeTLB(config.l2.entries, config.l2.ways)
+        self._small = mapping.as_dict()
+
+    def access(self, vpn: int) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        latency = self.config.latency
+        if self.l1.small.lookup(vpn, vpn) is not None:
+            stats.l1_hits += 1
+            return 0
+        line = vpn >> _LINE_SHIFT
+        entry = self.l2.lookup(line, line)
+        if entry is not None:
+            pfn = entry.translate(vpn)  # type: ignore[union-attr]
+            if pfn is not None:
+                if entry.pages > 1:  # type: ignore[union-attr]
+                    stats.coalesced_hits += 1
+                    charged = latency.coalesced_hit
+                else:
+                    stats.l2_small_hits += 1
+                    charged = latency.l2_hit
+                self.l1.fill_small(vpn, pfn)
+                return charged
+        if vpn not in self._small:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        stats.walks += 1
+        new_entry = build_colt_entry(self._small, vpn)
+        self.l2.insert(line, line, new_entry)
+        self.l1.fill_small(vpn, self._small[vpn])
+        return self._walk_cycles(vpn)
+
+    def translate(self, vpn: int) -> int:
+        pfn = self._small.get(vpn)
+        if pfn is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        return pfn
+
+    def flush(self) -> None:
+        super().flush()
+        self.l2.flush()

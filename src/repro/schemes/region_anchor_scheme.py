@@ -1,0 +1,162 @@
+"""``anchor-region``: multi-region anchors as a real scheme (paper §4.2).
+
+The paper sketches the extension: a small fully associative *region
+table* holds ``(start VPN, end VPN, anchor distance)`` triples, looked
+up in parallel with the TLB; an L2 miss then probes the anchor entry
+computed with the matching region's distance, so differently fragmented
+parts of the address space each get the distance that suits them.
+
+The implementation partitions the address space with
+:func:`repro.vmos.regions.partition_regions` (per-region Algorithm 1),
+builds one :class:`AnchorDirectory` per region, and keeps all regions'
+anchor entries in the one shared L2 — keys cannot alias because regions
+are disjoint, and each anchor entry is indexed with its own region's
+distance shift, exactly as the §4.2 hardware would.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageFaultError
+from repro.params import DEFAULT_MACHINE, MachineConfig
+from repro.hw.anchor_tlb import KIND_ANCHOR, KIND_HUGE, KIND_SMALL
+from repro.hw.tlb import SetAssociativeTLB
+from repro.schemes.base import TranslationScheme
+from repro.vmos.anchor import AnchorDirectory
+from repro.vmos.mapping import MemoryMapping
+from repro.vmos.regions import AnchorRegion, partition_regions
+
+_HUGE_SHIFT = 9
+
+
+class RegionAnchorScheme(TranslationScheme):
+    """Hybrid coalescing with per-region anchor distances."""
+
+    name = "anchor-region"
+
+    def __init__(
+        self,
+        mapping: MemoryMapping,
+        config: MachineConfig = DEFAULT_MACHINE,
+        capacity: int = 8,
+        regions: list[AnchorRegion] | None = None,
+    ) -> None:
+        super().__init__(mapping, config)
+        if regions is None:
+            regions = partition_regions(mapping, mapping.vmas, capacity)
+            if not regions and len(mapping):
+                # No VMA metadata: fall back to one region spanning the
+                # whole mapping with the process-wide distance.
+                from repro.vmos.contiguity import contiguity_histogram
+                from repro.vmos.distance import select_distance
+
+                vpns = [vpn for vpn, _ in mapping.items()]
+                regions = [AnchorRegion(
+                    vpns[0], vpns[-1] + 1,
+                    select_distance(contiguity_histogram(mapping)),
+                )]
+        elif len(regions) > capacity:
+            raise ValueError("more regions than the region table holds")
+        self.regions = sorted(regions, key=lambda r: r.start_vpn)
+        self.l2 = SetAssociativeTLB(config.l2.entries, config.l2.ways)
+        # Per-region coverage plans over the region's slice of the map.
+        self._directories: list[AnchorDirectory] = []
+        self._dlogs: list[int] = []
+        for region in self.regions:
+            slice_mapping = MemoryMapping(vmas=list(mapping.vmas))
+            for vpn, pfn in mapping.items():
+                if region.start_vpn <= vpn < region.end_vpn:
+                    slice_mapping.map_page(vpn, pfn, mapping.protection_of(vpn))
+            self._directories.append(
+                AnchorDirectory.build(slice_mapping, region.distance)
+            )
+            self._dlogs.append(region.distance.bit_length() - 1)
+
+    # ------------------------------------------------------------------
+
+    def _region_index(self, vpn: int) -> int | None:
+        """The region-table lookup (parallel compare over <= 8 entries)."""
+        for index, region in enumerate(self.regions):
+            if vpn in region:
+                return index
+        return None
+
+    def access(self, vpn: int) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        latency = self.config.latency
+        index = self._region_index(vpn)
+        if index is None:
+            raise PageFaultError(f"vpn {vpn:#x} outside every region")
+        directory = self._directories[index]
+        dlog = self._dlogs[index]
+        hvpn = vpn >> _HUGE_SHIFT
+        huge_base = directory.huge.get(hvpn << _HUGE_SHIFT)
+        if huge_base is not None:
+            if self.l1.huge.lookup(hvpn, hvpn) is not None:
+                stats.l1_hits += 1
+                return 0
+            if self.l2.lookup(hvpn, (hvpn << 2) | KIND_HUGE) is not None:
+                stats.l2_huge_hits += 1
+                self.l1.fill_huge(hvpn, huge_base)
+                return latency.l2_hit
+            stats.walks += 1
+            self.l2.insert(hvpn, (hvpn << 2) | KIND_HUGE, huge_base)
+            self.l1.fill_huge(hvpn, huge_base)
+            return self._walk_cycles(vpn, huge=True)
+        if self.l1.small.lookup(vpn, vpn) is not None:
+            stats.l1_hits += 1
+            return 0
+        pfn = self.l2.lookup(vpn, (vpn << 2) | KIND_SMALL)
+        if pfn is not None:
+            stats.l2_small_hits += 1
+            self.l1.fill_small(vpn, pfn)  # type: ignore[arg-type]
+            return latency.l2_hit
+        # Anchor probe with the region's own distance.
+        avpn = vpn >> dlog << dlog
+        entry = self.l2.lookup(avpn >> dlog, (avpn << 2) | KIND_ANCHOR)
+        if entry is not None:
+            appn, contiguity = entry  # type: ignore[misc]
+            offset = vpn - avpn
+            if offset < contiguity:
+                stats.coalesced_hits += 1
+                self.l1.fill_small(vpn, appn + offset)
+                return latency.coalesced_hit
+        pfn = directory.small.get(vpn)
+        if pfn is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        stats.walks += 1
+        contiguity = directory.anchor_contiguity.get(avpn, 0)
+        if vpn - avpn < contiguity:
+            self.l2.insert(
+                avpn >> dlog,
+                (avpn << 2) | KIND_ANCHOR,
+                (directory.small[avpn], contiguity),
+            )
+        else:
+            self.l2.insert(vpn, (vpn << 2) | KIND_SMALL, pfn)
+        self.l1.fill_small(vpn, pfn)
+        return self._walk_cycles(vpn)
+
+    def translate(self, vpn: int) -> int:
+        index = self._region_index(vpn)
+        if index is None:
+            raise PageFaultError(f"vpn {vpn:#x} outside every region")
+        directory = self._directories[index]
+        huge_base = directory.huge.get((vpn >> _HUGE_SHIFT) << _HUGE_SHIFT)
+        if huge_base is not None:
+            return huge_base + (vpn & ((1 << _HUGE_SHIFT) - 1))
+        via = directory.translate_via_anchor(vpn)
+        if via is not None:
+            return via
+        pfn = directory.small.get(vpn)
+        if pfn is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        return pfn
+
+    def flush(self) -> None:
+        super().flush()
+        self.l2.flush()
+
+    @property
+    def region_distances(self) -> list[int]:
+        return [region.distance for region in self.regions]

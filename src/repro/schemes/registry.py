@@ -1,0 +1,68 @@
+"""Scheme factory used by experiments and the CLI.
+
+``static-ideal`` is not constructible here: it is an exhaustive search
+over fixed anchor distances, implemented by
+:func:`repro.sim.sweep.static_ideal`, because it needs to *simulate*
+every candidate rather than build a single scheme.
+"""
+
+from __future__ import annotations
+
+from repro.params import DEFAULT_MACHINE, MachineConfig
+from repro.schemes.anchor_scheme import AnchorScheme
+from repro.schemes.base import TranslationScheme
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.cluster_scheme import ClusterScheme
+from repro.schemes.colt_scheme import ColtScheme
+from repro.schemes.prefetch_scheme import PrefetchScheme
+from repro.schemes.region_anchor_scheme import RegionAnchorScheme
+from repro.schemes.rmm import RMMScheme
+from repro.schemes.thp import THPScheme
+from repro.vmos.mapping import MemoryMapping
+
+#: The schemes of Figs. 7-9, in plotting order.  ``static-ideal`` is
+#: appended by experiments that can afford the exhaustive search.
+SCHEME_ORDER = ("base", "thp", "cluster", "cluster2mb", "rmm", "anchor-dyn")
+
+
+def make_scheme(
+    name: str,
+    mapping: MemoryMapping,
+    config: MachineConfig = DEFAULT_MACHINE,
+    distance: int | None = None,
+) -> TranslationScheme:
+    """Instantiate a scheme by its report name."""
+    if name == "base":
+        return BaselineScheme(mapping, config)
+    if name == "thp":
+        return THPScheme(mapping, config)
+    if name == "thp1g":
+        return THPScheme(mapping, config, use_giga=True)
+    if name == "cluster":
+        return ClusterScheme(mapping, config, use_thp=False)
+    if name == "cluster2mb":
+        return ClusterScheme(mapping, config, use_thp=True)
+    if name == "colt":
+        return ColtScheme(mapping, config)
+    if name == "prefetch":
+        return PrefetchScheme(mapping, config)
+    if name == "rmm":
+        return RMMScheme(mapping, config)
+    if name == "anchor-dyn":
+        return AnchorScheme(mapping, config, distance=None)
+    if name == "anchor-region":
+        return RegionAnchorScheme(mapping, config)
+    if name == "anchor-static":
+        if distance is None:
+            raise ValueError("anchor-static requires a distance")
+        return AnchorScheme(mapping, config, distance=distance)
+    raise ValueError(f"unknown scheme {name!r}")
+
+
+def scheme_names(include_extras: bool = False) -> tuple[str, ...]:
+    """Scheme names in canonical order (optionally with CoLT)."""
+    if include_extras:
+        return (SCHEME_ORDER[:2] + ("thp1g",) + SCHEME_ORDER[2:4]
+                + ("colt", "prefetch") + SCHEME_ORDER[4:]
+                + ("anchor-region",))
+    return SCHEME_ORDER

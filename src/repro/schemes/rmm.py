@@ -1,0 +1,107 @@
+"""``RMM``: redundant memory mappings (Karakostas et al., ISCA'15).
+
+The baseline L2 (4 KiB + 2 MiB with THP) is backed by a 32-entry fully
+associative range TLB.  After an L2 miss the range TLB is probed; a hit
+translates with the range's base PPN plus offset (8 cycles).  A miss
+walks the page table and refills both the L2 and — from the OS's
+redundant range table — the range TLB.
+
+With a handful of huge ranges (the ``max`` scenario) RMM practically
+eliminates walks; with many small chunks the 32 entries thrash and RMM
+degenerates to THP (Fig. 2), which is the paper's core motivation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageFaultError
+from repro.params import DEFAULT_MACHINE, MachineConfig
+from repro.hw.range_tlb import RangeTable, RangeTLB
+from repro.hw.tlb import SetAssociativeTLB
+from repro.schemes.base import TranslationScheme, promote_huge_pages
+from repro.vmos.mapping import MemoryMapping
+
+_HUGE_SHIFT = 9
+_KIND_SMALL = 0
+_KIND_HUGE = 1
+
+
+class RMMScheme(TranslationScheme):
+    """Baseline L2 (with THP) + 32-entry range TLB."""
+
+    name = "rmm"
+
+    def __init__(
+        self,
+        mapping: MemoryMapping,
+        config: MachineConfig = DEFAULT_MACHINE,
+    ) -> None:
+        super().__init__(mapping, config)
+        self.l2 = SetAssociativeTLB(config.l2.entries, config.l2.ways)
+        self.range_tlb = RangeTLB()
+        self.range_table = RangeTable(mapping)
+        self._huge, self._small = promote_huge_pages(mapping)
+
+    def access(self, vpn: int) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        latency = self.config.latency
+        hvpn = vpn >> _HUGE_SHIFT
+        huge_base = self._huge.get(hvpn << _HUGE_SHIFT)
+        if huge_base is not None:
+            if self.l1.huge.lookup(hvpn, hvpn) is not None:
+                stats.l1_hits += 1
+                return 0
+            if self.l2.lookup(hvpn, (hvpn << 1) | _KIND_HUGE) is not None:
+                stats.l2_huge_hits += 1
+                self.l1.fill_huge(hvpn, huge_base)
+                return latency.l2_hit
+            pfn = self.range_tlb.lookup(vpn)
+            if pfn is not None:
+                stats.coalesced_hits += 1
+                self.l1.fill_huge(hvpn, huge_base)
+                return latency.coalesced_hit
+            stats.walks += 1
+            self.l2.insert(hvpn, (hvpn << 1) | _KIND_HUGE, huge_base)
+            self.l1.fill_huge(hvpn, huge_base)
+            self._refill_range(vpn)
+            return self._walk_cycles(vpn, huge=True)
+        if self.l1.small.lookup(vpn, vpn) is not None:
+            stats.l1_hits += 1
+            return 0
+        pfn = self.l2.lookup(vpn, (vpn << 1) | _KIND_SMALL)
+        if pfn is not None:
+            stats.l2_small_hits += 1
+            self.l1.fill_small(vpn, pfn)  # type: ignore[arg-type]
+            return latency.l2_hit
+        pfn = self.range_tlb.lookup(vpn)
+        if pfn is not None:
+            stats.coalesced_hits += 1
+            self.l1.fill_small(vpn, pfn)
+            return latency.coalesced_hit
+        pfn = self._small.get(vpn)
+        if pfn is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        stats.walks += 1
+        self.l2.insert(vpn, (vpn << 1) | _KIND_SMALL, pfn)
+        self.l1.fill_small(vpn, pfn)
+        self._refill_range(vpn)
+        return self._walk_cycles(vpn)
+
+    def _refill_range(self, vpn: int) -> None:
+        entry = self.range_table.find(vpn)
+        if entry is not None:
+            self.range_tlb.insert(entry)
+
+    def translate(self, vpn: int) -> int:
+        base = self._huge.get((vpn >> _HUGE_SHIFT) << _HUGE_SHIFT)
+        if base is not None:
+            return base + (vpn & ((1 << _HUGE_SHIFT) - 1))
+        pfn = self._small.get(vpn)
+        if pfn is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        return pfn
+
+    def flush(self) -> None:
+        super().flush()
+        self.l2.flush()
+        self.range_tlb.flush()

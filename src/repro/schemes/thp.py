@@ -1,0 +1,140 @@
+"""``THP``: transparent huge pages (2 MiB) on the baseline hierarchy.
+
+The OS promotes every 2 MiB-aligned, fully contiguous window to a
+hardware huge page; the shared L2 holds 4 KiB and 2 MiB entries (the
+paper's baseline/THP row of Table 3).  Coverage grows 512x per promoted
+entry but only where the allocator managed to produce aligned 2 MiB
+chunks — the scheme is almost inert under the low/medium scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageFaultError
+from repro.params import DEFAULT_MACHINE, MachineConfig
+from repro.hw.tlb import SetAssociativeTLB
+from repro.schemes.base import (
+    TranslationScheme,
+    promote_giga_pages,
+    promote_huge_pages,
+)
+from repro.vmos.mapping import MemoryMapping
+
+_HUGE_SHIFT = 9
+_GIGA_SHIFT = 18
+
+# L2 key tags: pack the entry kind below the (h)VPN so 4 KiB and 2 MiB
+# entries sharing the array never alias.
+_KIND_SMALL = 0
+_KIND_HUGE = 1
+
+
+class THPScheme(TranslationScheme):
+    """Baseline hierarchy + transparent 2 MiB pages.
+
+    With ``use_giga`` the scheme additionally promotes 1 GiB-aligned
+    fully contiguous windows into hardware 1 GiB pages held in their own
+    small TLBs (paper §2.1) — the limit case of the fixed-page-size
+    approach: enormous coverage per entry, but only when the allocator
+    can produce gigabyte-aligned gigabyte chunks.
+    """
+
+    name = "thp"
+
+    def __init__(
+        self,
+        mapping: MemoryMapping,
+        config: MachineConfig = DEFAULT_MACHINE,
+        use_giga: bool = False,
+    ) -> None:
+        super().__init__(mapping, config)
+        self.use_giga = use_giga
+        self.l2 = SetAssociativeTLB(config.l2.entries, config.l2.ways)
+        if use_giga:
+            self.name = "thp1g"
+            self.l2_giga = SetAssociativeTLB(
+                config.l2_1g.entries, config.l2_1g.ways
+            )
+            self._giga, rest = promote_giga_pages(mapping)
+            partial = MemoryMapping(vmas=list(mapping.vmas))
+            for vpn, pfn in sorted(rest.items()):
+                partial.map_page(vpn, pfn, mapping.protection_of(vpn))
+            self._huge, self._small = promote_huge_pages(partial)
+        else:
+            self._giga = {}
+            self._huge, self._small = promote_huge_pages(mapping)
+
+    def access(self, vpn: int) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        latency = self.config.latency
+        if self._giga:
+            gvpn = vpn >> _GIGA_SHIFT
+            giga_base = self._giga.get(gvpn << _GIGA_SHIFT)
+            if giga_base is not None:
+                if self.l1.giga.lookup(gvpn, gvpn) is not None:
+                    stats.l1_hits += 1
+                    return 0
+                if self.l2_giga.lookup(gvpn, gvpn) is not None:
+                    stats.l2_huge_hits += 1
+                    self.l1.fill_giga(gvpn, giga_base)
+                    return latency.l2_hit
+                stats.walks += 1
+                self.l2_giga.insert(gvpn, gvpn, giga_base)
+                self.l1.fill_giga(gvpn, giga_base)
+                return self._walk_cycles(vpn, huge=True)
+        hvpn = vpn >> _HUGE_SHIFT
+        huge_base = self._huge.get(hvpn << _HUGE_SHIFT)
+        if huge_base is not None:
+            if self.l1.huge.lookup(hvpn, hvpn) is not None:
+                stats.l1_hits += 1
+                return 0
+            cached = self.l2.lookup(hvpn, (hvpn << 1) | _KIND_HUGE)
+            if cached is not None:
+                stats.l2_huge_hits += 1
+                self.l1.fill_huge(hvpn, huge_base)
+                return latency.l2_hit
+            stats.walks += 1
+            self.l2.insert(hvpn, (hvpn << 1) | _KIND_HUGE, huge_base)
+            self.l1.fill_huge(hvpn, huge_base)
+            return self._walk_cycles(vpn, huge=True)
+        if self.l1.small.lookup(vpn, vpn) is not None:
+            stats.l1_hits += 1
+            return 0
+        pfn = self.l2.lookup(vpn, (vpn << 1) | _KIND_SMALL)
+        if pfn is not None:
+            stats.l2_small_hits += 1
+            self.l1.fill_small(vpn, pfn)  # type: ignore[arg-type]
+            return latency.l2_hit
+        pfn = self._small.get(vpn)
+        if pfn is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        stats.walks += 1
+        self.l2.insert(vpn, (vpn << 1) | _KIND_SMALL, pfn)
+        self.l1.fill_small(vpn, pfn)
+        return self._walk_cycles(vpn)
+
+    def translate(self, vpn: int) -> int:
+        giga_base = self._giga.get((vpn >> _GIGA_SHIFT) << _GIGA_SHIFT)
+        if giga_base is not None:
+            return giga_base + (vpn & ((1 << _GIGA_SHIFT) - 1))
+        base = self._huge.get((vpn >> _HUGE_SHIFT) << _HUGE_SHIFT)
+        if base is not None:
+            return base + (vpn & ((1 << _HUGE_SHIFT) - 1))
+        pfn = self._small.get(vpn)
+        if pfn is None:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped")
+        return pfn
+
+    def flush(self) -> None:
+        super().flush()
+        self.l2.flush()
+        if self.use_giga:
+            self.l2_giga.flush()
+
+    @property
+    def huge_windows(self) -> int:
+        return len(self._huge)
+
+    @property
+    def giga_windows(self) -> int:
+        return len(self._giga)

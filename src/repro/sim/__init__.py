@@ -1,0 +1,19 @@
+"""Trace-driven simulation: traces, workloads, engine, statistics."""
+
+from repro.sim.stats import TranslationStats
+from repro.sim.trace import Trace
+from repro.sim.workloads import WORKLOADS, Workload, workload_names
+from repro.sim.engine import SimulationResult, simulate
+from repro.sim.multiprog import ProcessRun, simulate_multiprogrammed
+
+__all__ = [
+    "TranslationStats",
+    "Trace",
+    "WORKLOADS",
+    "Workload",
+    "workload_names",
+    "SimulationResult",
+    "simulate",
+    "ProcessRun",
+    "simulate_multiprogrammed",
+]

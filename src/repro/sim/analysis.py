@@ -1,0 +1,157 @@
+"""Trace analysis: the locality measures behind TLB behaviour.
+
+Everything a TLB sees is determined by the trace's *page-level reuse
+structure*; this module provides the standard reductions — reuse-
+distance histograms, footprint curves, working-set sizes, and a
+reach-based miss-ratio estimator — used to sanity-check the workload
+models against their intended locality profiles and to explain scheme
+results (e.g. why gups defeats every finite reach).
+
+The miss estimator implements the classic stack-distance argument: a
+fully associative LRU structure of capacity C misses exactly on the
+references whose reuse distance exceeds C, so the reuse CDF *is* the
+miss-ratio curve.  Real TLBs are set-associative, so the estimate is a
+lower bound the simulator results can be compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.trace import Trace
+from repro.util.histogram import Histogram
+
+
+def reuse_distances(trace: Trace) -> np.ndarray:
+    """LRU stack distance of each reference (-1 for cold misses).
+
+    Implemented with the classic O(N log N) Fenwick-tree algorithm over
+    reference timestamps.
+    """
+    vpns = trace.vpns
+    n = len(vpns)
+    tree = np.zeros(n + 1, dtype=np.int64)
+
+    def add(i: int, delta: int) -> None:
+        i += 1
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix(i: int) -> int:
+        i += 1
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return int(total)
+
+    last_seen: dict[int, int] = {}
+    out = np.empty(n, dtype=np.int64)
+    for t, vpn in enumerate(vpns.tolist()):
+        prev = last_seen.get(vpn)
+        if prev is None:
+            out[t] = -1
+        else:
+            # Distinct pages touched strictly after prev.
+            out[t] = prefix(t - 1) - prefix(prev)
+            add(prev, -1)
+        add(t, 1)
+        last_seen[vpn] = t
+    return out
+
+
+def reuse_cdf(trace: Trace, capacities: list[int]) -> dict[int, float]:
+    """Fraction of references with reuse distance <= each capacity.
+
+    Equivalently: the hit ratio of an ideal fully associative LRU of
+    that capacity (cold misses count as misses).
+    """
+    distances = reuse_distances(trace)
+    n = len(distances)
+    warm = distances[distances >= 0]
+    return {
+        c: float((warm < c).sum()) / n if n else 0.0
+        for c in capacities
+    }
+
+
+def estimated_miss_ratio(trace: Trace, reach_pages: int) -> float:
+    """Lower-bound miss ratio for a structure covering ``reach_pages``."""
+    if reach_pages <= 0:
+        raise ValueError("reach must be positive")
+    return 1.0 - reuse_cdf(trace, [reach_pages])[reach_pages]
+
+
+def footprint_curve(trace: Trace, points: int = 20) -> list[tuple[int, int]]:
+    """(references consumed, distinct pages touched) at regular steps."""
+    if points <= 0:
+        raise ValueError("points must be positive")
+    vpns = trace.vpns
+    step = max(1, len(vpns) // points)
+    seen: set[int] = set()
+    curve = []
+    for start in range(0, len(vpns), step):
+        seen.update(vpns[start:start + step].tolist())
+        curve.append((min(start + step, len(vpns)), len(seen)))
+    return curve
+
+
+def working_set_size(trace: Trace, window: int) -> float:
+    """Average number of distinct pages per ``window`` references."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    vpns = trace.vpns
+    sizes = [
+        len(set(vpns[start:start + window].tolist()))
+        for start in range(0, len(vpns), window)
+    ]
+    return float(np.mean(sizes)) if sizes else 0.0
+
+
+def page_popularity(trace: Trace) -> Histogram:
+    """Histogram of per-page access counts (skew fingerprint)."""
+    _, counts = np.unique(trace.vpns, return_counts=True)
+    histogram = Histogram()
+    for count in counts.tolist():
+        histogram.add(int(count))
+    return histogram
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """A compact locality fingerprint of one trace."""
+
+    references: int
+    distinct_pages: int
+    cold_fraction: float        #: first-touch share of references
+    hit_at_l1_reach: float      #: ideal hit ratio at L1 reach (64 pages)
+    hit_at_l2_reach: float      #: ideal hit ratio at L2 reach (1024 pages)
+    working_set_10k: float      #: mean distinct pages per 10k references
+
+    def summary(self) -> str:
+        return (
+            f"{self.references} refs over {self.distinct_pages} pages; "
+            f"cold {self.cold_fraction:.1%}; ideal hit@64 "
+            f"{self.hit_at_l1_reach:.1%}, hit@1024 {self.hit_at_l2_reach:.1%}"
+        )
+
+
+def profile(trace: Trace) -> TraceProfile:
+    """Compute the full locality fingerprint."""
+    distances = reuse_distances(trace)
+    n = len(distances)
+    cold = float((distances < 0).sum()) / n if n else 0.0
+    warm = distances[distances >= 0]
+    hit64 = float((warm < 64).sum()) / n if n else 0.0
+    hit1024 = float((warm < 1024).sum()) / n if n else 0.0
+    return TraceProfile(
+        references=n,
+        distinct_pages=trace.unique_pages(),
+        cold_fraction=cold,
+        hit_at_l1_reach=hit64,
+        hit_at_l2_reach=hit1024,
+        working_set_10k=working_set_size(trace, 10_000),
+    )

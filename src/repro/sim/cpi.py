@@ -1,0 +1,45 @@
+"""Translation-CPI reporting (paper Figs. 10-11).
+
+The paper estimates cycles spent on address translation per instruction
+from the Table 3 latencies: L1 TLB hits are free (probed in parallel
+with the cache), L2 regular hits cost 7 cycles, anchor/cluster/range
+hits 8, and page walks 50.  This module turns simulation results into
+the stacked-bar rows the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class CPIBreakdown:
+    """One stacked bar of Figs. 10-11."""
+
+    scheme: str
+    workload: str
+    l2_hit: float          #: CPI spent on regular L2 hits
+    coalesced_hit: float   #: CPI spent on anchor/cluster/range hits
+    page_walk: float       #: CPI spent on page walks
+
+    @property
+    def total(self) -> float:
+        return self.l2_hit + self.coalesced_hit + self.page_walk
+
+
+def cpi_breakdown(result: SimulationResult) -> CPIBreakdown:
+    l2, coalesced, walk = result.stats.cpi_breakdown(result.instructions)
+    return CPIBreakdown(
+        scheme=result.scheme,
+        workload=result.workload,
+        l2_hit=l2,
+        coalesced_hit=coalesced,
+        page_walk=walk,
+    )
+
+
+def cpi_reduction(base: SimulationResult, other: SimulationResult) -> float:
+    """Absolute translation-CPI saved by ``other`` relative to ``base``."""
+    return base.translation_cpi - other.translation_cpi

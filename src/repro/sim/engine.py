@@ -1,0 +1,97 @@
+"""The trace-driven simulation engine.
+
+Drives a trace through a scheme in *epochs*, mirroring the paper's
+methodology: the OS re-evaluates the anchor distance every epoch (one
+billion instructions in the paper; a configurable reference count
+here).  The engine also exposes an ``on_epoch`` hook so experiments can
+mutate the mapping mid-run (allocation churn) and measure how the
+dynamic selection reacts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.sim.stats import TranslationStats
+from repro.sim.trace import Trace
+
+#: Default epoch length in memory references.  The paper re-evaluates
+#: every 10^9 instructions out of 12x10^9; we keep the same 1/12 of the
+#: run granularity relative to typical trace lengths.
+DEFAULT_EPOCH_REFERENCES = 50_000
+
+
+@dataclass
+class SimulationResult:
+    """Everything one scheme-on-trace run produced."""
+
+    scheme: str
+    workload: str
+    stats: TranslationStats
+    instructions: int
+    anchor_distance: int | None = None
+    distance_changes: int = 0
+    epochs: int = 1
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.stats.miss_ratio()
+
+    @property
+    def translation_cpi(self) -> float:
+        return self.stats.translation_cpi(self.instructions)
+
+    def relative_misses(self, baseline: "SimulationResult") -> float:
+        """This run's L2 misses as a percentage of the baseline's."""
+        if baseline.stats.walks == 0:
+            return 0.0 if self.stats.walks == 0 else float("inf")
+        return 100.0 * self.stats.walks / baseline.stats.walks
+
+
+def simulate(
+    scheme,
+    trace: Trace,
+    epoch_references: int | None = DEFAULT_EPOCH_REFERENCES,
+    on_epoch: Callable[[int, object], None] | None = None,
+) -> SimulationResult:
+    """Run ``trace`` through ``scheme``, epoch by epoch."""
+    vpns = trace.vpns
+    total = len(vpns)
+    if epoch_references is None or epoch_references >= total:
+        epoch_references = total
+    if epoch_references <= 0:
+        raise ValueError("epoch_references must be positive")
+
+    access = scheme.access
+    epochs = 0
+    changes = 0
+    position = 0
+    while position < total:
+        end = min(position + epoch_references, total)
+        for vpn in vpns[position:end].tolist():
+            access(vpn)
+        position = end
+        epochs += 1
+        if position < total:
+            # Epoch boundary: the OS re-checks the anchor distance.
+            # (Duck-typed so the sim layer does not import the schemes.)
+            reselect = getattr(scheme, "reselect_distance", None)
+            if reselect is not None:
+                _, changed = reselect()
+                if changed:
+                    changes += 1
+            if on_epoch is not None:
+                on_epoch(epochs, scheme)
+
+    scheme.stats.check_conservation()
+    return SimulationResult(
+        scheme=scheme.name,
+        workload=trace.name,
+        stats=scheme.stats,
+        instructions=trace.instructions,
+        anchor_distance=getattr(scheme, "distance", None),
+        distance_changes=changes,
+        epochs=epochs,
+    )

@@ -1,0 +1,93 @@
+"""Multi-programmed simulation: context switches over shared TLBs.
+
+The paper's OS integration notes (§3.1, §3.3) have two context-switch
+consequences: the anchor distance register is restored per process
+alongside CR3, and the native x86 kernel flushes the TLB on the switch
+(which is why the paper considers the distance-change flush minor).
+
+This module time-slices several (scheme, trace) pairs on one core.  Two
+hardware models are supported:
+
+* ``flush_on_switch=True`` — classic x86 without PCID: the incoming
+  process starts with cold TLBs every quantum;
+* ``flush_on_switch=False`` — tagged TLBs (ASID/PCID): each process's
+  entries survive across switches (modelled by per-process state, i.e.
+  an ideally partitioned tagged TLB).
+
+Comparing the two quantifies how much of each scheme's benefit survives
+realistic time slicing: coverage schemes (anchor, THP) refill much
+faster after a flush, because one entry re-covers a whole window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.stats import TranslationStats
+from repro.sim.trace import Trace
+
+
+@dataclass
+class ProcessRun:
+    """One scheduled process: a scheme bound to its trace."""
+
+    name: str
+    scheme: object                #: a TranslationScheme
+    trace: Trace
+    position: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.position >= len(self.trace)
+
+
+@dataclass
+class MultiProgramResult:
+    """Outcome of a multi-programmed run."""
+
+    stats: dict[str, TranslationStats] = field(default_factory=dict)
+    switches: int = 0
+    flushes: int = 0
+
+    def total_walks(self) -> int:
+        return sum(s.walks for s in self.stats.values())
+
+
+def simulate_multiprogrammed(
+    runs: list[ProcessRun],
+    quantum: int = 5_000,
+    flush_on_switch: bool = True,
+) -> MultiProgramResult:
+    """Round-robin the processes in ``quantum``-reference time slices."""
+    if quantum <= 0:
+        raise ValueError("quantum must be positive")
+    if not runs:
+        raise ValueError("no processes to run")
+    names = [r.name for r in runs]
+    if len(set(names)) != len(names):
+        raise ValueError("process names must be unique")
+
+    result = MultiProgramResult()
+    active = list(runs)
+    previous: ProcessRun | None = None
+    while active:
+        for run in list(active):
+            if previous is not None and previous is not run:
+                result.switches += 1
+                if flush_on_switch:
+                    # The incoming process finds the shared TLBs holding
+                    # only the other process's (now flushed) entries.
+                    run.scheme.flush()
+                    result.flushes += 1
+            end = min(run.position + quantum, len(run.trace))
+            access = run.scheme.access
+            for vpn in run.trace.vpns[run.position:end].tolist():
+                access(vpn)
+            run.position = end
+            previous = run
+            if run.finished:
+                active.remove(run)
+    for run in runs:
+        run.scheme.stats.check_conservation()
+        result.stats[run.name] = run.scheme.stats
+    return result

@@ -1,0 +1,172 @@
+"""Access-pattern primitives for synthetic workload models.
+
+Each primitive produces a stream of *logical page indices* in
+``[0, footprint)``; the workload layer maps those through the VMA layout
+to virtual page numbers.  The primitives are the building blocks of the
+per-application models in :mod:`repro.sim.workloads`: what matters for
+TLB behaviour is the page-level reuse distance distribution, which these
+reproduce — uniform random (no reuse), Zipf (skewed reuse), sequential
+sweeps (compulsory-only), Gaussian walks (a moving working set), and
+pointer chases (random permutation cycles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform(rng: np.random.Generator, footprint: int, length: int) -> np.ndarray:
+    """Uniform random pages — gups-style, defeats any TLB."""
+    return rng.integers(0, footprint, size=length, dtype=np.int64)
+
+
+def zipf(
+    rng: np.random.Generator,
+    footprint: int,
+    length: int,
+    exponent: float = 0.8,
+) -> np.ndarray:
+    """Zipf-distributed page popularity over a random permutation.
+
+    Hot pages are scattered across the footprint (as heap objects are),
+    not clustered at low addresses.
+    """
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    ranks = np.arange(1, footprint + 1, dtype=np.float64)
+    weights = ranks ** -exponent
+    weights /= weights.sum()
+    draws = rng.choice(footprint, size=length, p=weights)
+    permutation = rng.permutation(footprint)
+    return permutation[draws].astype(np.int64)
+
+
+def sequential(
+    rng: np.random.Generator,
+    footprint: int,
+    length: int,
+    streams: int = 1,
+    stride: int = 1,
+    repeats_per_page: int = 4,
+) -> np.ndarray:
+    """Interleaved sequential sweeps — stencil/streaming kernels.
+
+    ``streams`` concurrent cursors start at random offsets and advance
+    by ``stride`` pages after ``repeats_per_page`` touches, wrapping at
+    the footprint.
+    """
+    if streams <= 0 or stride <= 0 or repeats_per_page <= 0:
+        raise ValueError("streams, stride, repeats_per_page must be positive")
+    cursors = rng.integers(0, footprint, size=streams, dtype=np.int64)
+    out = np.empty(length, dtype=np.int64)
+    per_pick = repeats_per_page
+    position = 0
+    while position < length:
+        for s in range(streams):
+            take = min(per_pick, length - position)
+            if take <= 0:
+                break
+            out[position : position + take] = cursors[s]
+            position += take
+            cursors[s] = (cursors[s] + stride) % footprint
+    return out
+
+
+def gaussian_walk(
+    rng: np.random.Generator,
+    footprint: int,
+    length: int,
+    sigma_pages: float = 64.0,
+    drift: float = 2.0,
+) -> np.ndarray:
+    """Accesses clustered around a slowly drifting centre.
+
+    Models frontier-style computations (astar, omnetpp event sets):
+    strong temporal locality with a working set that migrates.
+    """
+    if sigma_pages <= 0:
+        raise ValueError("sigma must be positive")
+    steps = rng.normal(0.0, drift, size=length).cumsum()
+    centre = (rng.integers(0, footprint) + steps) % footprint
+    offsets = rng.normal(0.0, sigma_pages, size=length)
+    return ((centre + offsets) % footprint).astype(np.int64)
+
+
+def pointer_chase(
+    rng: np.random.Generator,
+    footprint: int,
+    length: int,
+    restart_every: int = 4096,
+) -> np.ndarray:
+    """Walk a fixed random permutation cycle — linked data structures.
+
+    Every page is visited before any repeats (reuse distance equals the
+    footprint), with periodic restarts from random positions.
+    """
+    if restart_every <= 0:
+        raise ValueError("restart_every must be positive")
+    # Build a single Hamiltonian cycle (Sattolo-style) so every page is
+    # visited exactly once per lap — a random successor *function* would
+    # decay into short cycles.
+    order = rng.permutation(footprint).astype(np.int64)
+    successor = np.empty(footprint, dtype=np.int64)
+    successor[order[:-1]] = order[1:]
+    successor[order[-1]] = order[0]
+    out = np.empty(length, dtype=np.int64)
+    node = int(rng.integers(0, footprint))
+    for i in range(length):
+        out[i] = node
+        node = int(successor[node])
+        if (i + 1) % restart_every == 0:
+            node = int(rng.integers(0, footprint))
+    return out
+
+
+def strided(
+    rng: np.random.Generator,
+    footprint: int,
+    length: int,
+    stride: int = 16,
+) -> np.ndarray:
+    """A single strided sweep (large-row matrix traversals)."""
+    start = int(rng.integers(0, footprint))
+    idx = (start + np.arange(length, dtype=np.int64) * stride) % footprint
+    return idx
+
+
+def mixture(
+    rng: np.random.Generator,
+    length: int,
+    components: list[tuple[float, np.ndarray]],
+) -> np.ndarray:
+    """Interleave component streams with the given weights.
+
+    Each component is ``(weight, indices)``; accesses are drawn from
+    components in weight-proportional interleaved blocks of 64, keeping
+    each component's internal order (so sequential components stay
+    sequential).
+    """
+    if not components:
+        raise ValueError("mixture needs at least one component")
+    weights = np.array([w for w, _ in components], dtype=np.float64)
+    if (weights <= 0).any():
+        raise ValueError("weights must be positive")
+    weights /= weights.sum()
+    block = 64
+    out = np.empty(length, dtype=np.int64)
+    cursors = [0] * len(components)
+    position = 0
+    while position < length:
+        choice = int(rng.choice(len(components), p=weights))
+        _, stream = components[choice]
+        take = min(block, length - position, len(stream) - cursors[choice])
+        if take <= 0:
+            # Component exhausted; recycle it from the start.
+            cursors[choice] = 0
+            take = min(block, length - position)
+        out[position : position + take] = stream[
+            cursors[choice] : cursors[choice] + take
+        ]
+        cursors[choice] += take
+        position += take
+    return out

@@ -1,0 +1,115 @@
+"""Translation statistics collected by the schemes.
+
+The counters follow the paper's reporting:
+
+* *TLB misses* (Figs. 2, 7-9) are L2 misses, i.e. completed page walks;
+* the *L2 breakdown* (Table 5) splits L2-level accesses into regular
+  hits (4 KiB + 2 MiB entries), coalesced hits (anchor / cluster /
+  range entries), and misses;
+* *translation CPI* (Figs. 10-11) charges Table 3 latencies per event
+  and divides by the instruction count (memory references divided by
+  the workload's memory-ops-per-instruction ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.params import LatencyModel
+
+
+@dataclass
+class TranslationStats:
+    """Event counters for one simulation run."""
+
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_small_hits: int = 0      #: regular 4 KiB entry hits in the L2
+    l2_huge_hits: int = 0       #: 2 MiB entry hits in the L2
+    coalesced_hits: int = 0     #: anchor / cluster / range hits
+    walks: int = 0
+    #: Page-table memory accesses actually performed, tracked only when
+    #: the page-walk caches are enabled (0 means "flat walk model").
+    walk_pt_accesses: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def l2_accesses(self) -> int:
+        """L1 misses, i.e. lookups that reached the L2 level."""
+        return self.accesses - self.l1_hits
+
+    @property
+    def l2_regular_hits(self) -> int:
+        return self.l2_small_hits + self.l2_huge_hits
+
+    @property
+    def l2_misses(self) -> int:
+        """The paper's 'TLB misses': requests resolved by a page walk."""
+        return self.walks
+
+    @property
+    def cycles_l2_hit(self) -> int:
+        return self.l2_regular_hits * self.latency.l2_hit
+
+    @property
+    def cycles_coalesced(self) -> int:
+        return self.coalesced_hits * self.latency.coalesced_hit
+
+    @property
+    def cycles_walk(self) -> int:
+        if self.walk_pt_accesses:
+            return self.walk_pt_accesses * self.latency.walk_step
+        return self.walks * self.latency.page_walk
+
+    @property
+    def translation_cycles(self) -> int:
+        return self.cycles_l2_hit + self.cycles_coalesced + self.cycles_walk
+
+    # ------------------------------------------------------------------
+    # Report helpers
+    # ------------------------------------------------------------------
+
+    def check_conservation(self) -> None:
+        """Every access must be resolved exactly once."""
+        resolved = (
+            self.l1_hits + self.l2_regular_hits + self.coalesced_hits + self.walks
+        )
+        if resolved != self.accesses:
+            raise AssertionError(
+                f"stats not conserved: {resolved} resolved != {self.accesses} accesses"
+            )
+
+    def l2_breakdown(self) -> tuple[float, float, float]:
+        """(regular-hit, coalesced-hit, miss) shares of L2 accesses (Table 5)."""
+        total = self.l2_accesses
+        if total == 0:
+            return (0.0, 0.0, 0.0)
+        return (
+            self.l2_regular_hits / total,
+            self.coalesced_hits / total,
+            self.walks / total,
+        )
+
+    def miss_ratio(self) -> float:
+        """L2 misses per access."""
+        return self.walks / self.accesses if self.accesses else 0.0
+
+    def translation_cpi(self, instructions: int) -> float:
+        """Translation cycles per instruction (Figs. 10-11)."""
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        return self.translation_cycles / instructions
+
+    def cpi_breakdown(self, instructions: int) -> tuple[float, float, float]:
+        """(L2-hit, coalesced-hit, walk) CPI components."""
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        return (
+            self.cycles_l2_hit / instructions,
+            self.cycles_coalesced / instructions,
+            self.cycles_walk / instructions,
+        )

@@ -1,0 +1,89 @@
+"""Parameter sweeps: the static-ideal search and ablation helpers.
+
+``static ideal`` in the paper (§5.1) is the anchor scheme with the one
+fixed distance that performs best for each (application, mapping) pair,
+found by exhaustive evaluation of all possible distances — the upper
+bound the dynamic selection algorithm is judged against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import ANCHOR_DISTANCES, DEFAULT_MACHINE, MachineConfig
+from repro.schemes.anchor_scheme import AnchorScheme
+from repro.sim.engine import SimulationResult, simulate
+from repro.sim.trace import Trace
+from repro.vmos.mapping import MemoryMapping
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fixed-distance evaluation."""
+
+    distance: int
+    walks: int
+    result: SimulationResult
+
+
+def useful_distances(
+    mapping: MemoryMapping,
+    candidates: tuple[int, ...] = ANCHOR_DISTANCES,
+) -> tuple[int, ...]:
+    """Prune candidates that cannot possibly help.
+
+    Distances beyond twice the largest chunk add no coverage over the
+    next smaller candidate (every anchor's window already spans its
+    whole chunk), so the exhaustive search can skip them.
+    """
+    chunks = mapping.chunks()
+    if not chunks:
+        return (min(candidates),)
+    largest = max(chunk.pages for chunk in chunks)
+    kept = tuple(d for d in sorted(candidates) if d <= 2 * largest)
+    return kept or (min(candidates),)
+
+
+def distance_sweep(
+    mapping: MemoryMapping,
+    trace: Trace,
+    config: MachineConfig = DEFAULT_MACHINE,
+    candidates: tuple[int, ...] | None = None,
+    subsample: int = 1,
+) -> list[SweepPoint]:
+    """Simulate every candidate fixed distance on (a subsample of) the trace."""
+    if candidates is None:
+        candidates = useful_distances(mapping)
+    probe = trace.subsample(subsample)
+    points = []
+    for distance in sorted(candidates):
+        scheme = AnchorScheme(mapping, config, distance=distance)
+        result = simulate(scheme, probe, epoch_references=None)
+        points.append(SweepPoint(distance, result.stats.walks, result))
+    return points
+
+
+def static_ideal(
+    mapping: MemoryMapping,
+    trace: Trace,
+    config: MachineConfig = DEFAULT_MACHINE,
+    candidates: tuple[int, ...] | None = None,
+    subsample: int = 1,
+) -> SimulationResult:
+    """The best fixed-distance anchor result for this (mapping, trace).
+
+    With ``subsample > 1`` the search phase runs on a thinned trace and
+    the winning distance is then re-simulated on the full trace (the
+    winner, not the numbers, is what the search needs).
+    """
+    points = distance_sweep(mapping, trace, config, candidates, subsample)
+    best = min(points, key=lambda p: p.walks)
+    if subsample > 1:
+        scheme = AnchorScheme(mapping, config, distance=best.distance)
+        result = simulate(scheme, trace, epoch_references=None)
+    else:
+        result = best.result
+    result.scheme = "anchor-ideal"
+    result.extras["ideal_distance"] = best.distance
+    result.extras["sweep"] = [(p.distance, p.walks) for p in points]
+    return result

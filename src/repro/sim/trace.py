@@ -1,0 +1,95 @@
+"""Memory reference traces.
+
+A trace is a sequence of virtual page numbers (data references only, as
+in the paper's Pin traces) plus the instruction count it represents.
+Traces are stored as numpy int64 arrays; the instruction count is
+derived from the workload's memory-operations-per-instruction ratio so
+the CPI model can normalise cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered sequence of page-granular memory references."""
+
+    vpns: np.ndarray            #: int64 VPNs, one per memory reference
+    instructions: int           #: instructions the references represent
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.vpns.ndim != 1:
+            raise ValueError("trace must be one-dimensional")
+        if self.instructions <= 0:
+            raise ValueError("instruction count must be positive")
+
+    def __len__(self) -> int:
+        return int(self.vpns.shape[0])
+
+    def __iter__(self):
+        return iter(self.vpns.tolist())
+
+    @property
+    def references(self) -> int:
+        return len(self)
+
+    @property
+    def mem_ratio(self) -> float:
+        """Memory references per instruction."""
+        return self.references / self.instructions
+
+    def prefix(self, references: int) -> "Trace":
+        """The first ``references`` accesses, instructions pro-rated."""
+        if references <= 0:
+            raise ValueError("references must be positive")
+        references = min(references, len(self))
+        instructions = max(1, round(self.instructions * references / len(self)))
+        return Trace(self.vpns[:references], instructions, self.name)
+
+    def subsample(self, step: int) -> "Trace":
+        """Every ``step``-th access (used by the static-ideal search)."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if step == 1:
+            return self
+        vpns = self.vpns[::step]
+        instructions = max(1, self.instructions // step)
+        return Trace(vpns, instructions, self.name)
+
+    def unique_pages(self) -> int:
+        return int(np.unique(self.vpns).shape[0])
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(
+            path, vpns=self.vpns, instructions=self.instructions, name=self.name
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        data = np.load(path, allow_pickle=False)
+        return cls(
+            vpns=data["vpns"],
+            instructions=int(data["instructions"]),
+            name=str(data["name"]),
+        )
+
+
+def concatenate(traces: list[Trace], name: str = "") -> Trace:
+    """Join traces back to back (phases of one execution)."""
+    if not traces:
+        raise ValueError("no traces to concatenate")
+    return Trace(
+        np.concatenate([t.vpns for t in traces]),
+        sum(t.instructions for t in traces),
+        name or traces[0].name,
+    )

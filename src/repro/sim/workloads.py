@@ -1,0 +1,308 @@
+"""Per-application workload models (the paper's benchmark proxies).
+
+The paper traces 14 applications (SPEC CPU2006, BioBench's mummer/tigr,
+graph500 and gups) with Pin and replays 12 G-instruction memory traces.
+Pin traces of the exact binaries are not reproducible here, so each
+application is modelled by
+
+* an **allocation profile** — how many regions of which sizes it
+  requests (this drives every mapping scenario; e.g. omnetpp's heap is
+  thousands of small chunks, gups is one giant array), and
+* an **access pattern** — a composition of the primitives in
+  :mod:`repro.sim.patterns` chosen to match the application's published
+  page-level locality (gups: uniform random; mcf/mummer: pointer
+  chasing; GemsFDTD/milc/cactusADM: stencil sweeps; omnetpp/xalancbmk:
+  pointer-heavy with high temporal locality; ...), and
+* a **memory-ops-per-instruction ratio** used to convert reference
+  counts to instruction counts for the CPI model.
+
+Footprints are scaled from the paper's 0.1-8 GiB down to 40-256 MiB so
+pure-Python simulation stays tractable; the TLB is kept at its Table 3
+size, so footprint >> TLB reach still holds and relative miss behaviour
+is preserved (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim import patterns
+from repro.sim.trace import Trace
+from repro.util.rng import spawn_rng
+from repro.vmos.vma import VMA, AllocationSite, VMAKind, layout_vmas
+
+PatternFn = Callable[[np.random.Generator, int, int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One application model."""
+
+    name: str
+    sites: tuple[AllocationSite, ...]
+    mem_ops_per_instr: float
+    pattern: PatternFn
+    description: str = ""
+
+    @property
+    def footprint_pages(self) -> int:
+        return sum(site.total_pages for site in self.sites)
+
+    def vmas(self) -> list[VMA]:
+        """The workload's virtual layout (deterministic)."""
+        return layout_vmas(list(self.sites))
+
+    def make_trace(
+        self, references: int, seed: int | None = None
+    ) -> Trace:
+        """Generate a reference trace of ``references`` accesses."""
+        if references <= 0:
+            raise ValueError("references must be positive")
+        rng = spawn_rng(seed, "trace", self.name)
+        indices = self.pattern(rng, self.footprint_pages, references)
+        if indices.min() < 0 or indices.max() >= self.footprint_pages:
+            raise ValueError(f"{self.name}: pattern left the footprint")
+        vpn_of_index = np.concatenate(
+            [np.arange(v.start_vpn, v.end_vpn, dtype=np.int64) for v in self.vmas()]
+        )
+        vpns = vpn_of_index[indices]
+        instructions = max(1, round(references / self.mem_ops_per_instr))
+        return Trace(vpns=vpns, instructions=instructions, name=self.name)
+
+
+# ---------------------------------------------------------------------------
+# Pattern compositions
+# ---------------------------------------------------------------------------
+
+
+def _mix(*components: tuple[float, PatternFn]) -> PatternFn:
+    def pattern(rng: np.random.Generator, footprint: int, length: int) -> np.ndarray:
+        streams = [
+            (weight, fn(rng, footprint, max(1, int(length * weight) + 1)))
+            for weight, fn in components
+        ]
+        return patterns.mixture(rng, length, streams)
+
+    return pattern
+
+
+def _uniform(rng, footprint, length):
+    return patterns.uniform(rng, footprint, length)
+
+
+def _zipf(exponent: float) -> PatternFn:
+    def fn(rng, footprint, length):
+        return patterns.zipf(rng, footprint, length, exponent)
+
+    return fn
+
+
+def _sequential(streams: int = 1, stride: int = 1, repeats: int = 4) -> PatternFn:
+    def fn(rng, footprint, length):
+        return patterns.sequential(rng, footprint, length, streams, stride, repeats)
+
+    return fn
+
+
+def _gaussian(sigma: float, drift: float = 2.0) -> PatternFn:
+    def fn(rng, footprint, length):
+        return patterns.gaussian_walk(rng, footprint, length, sigma, drift)
+
+    return fn
+
+
+def _chase(restart: int = 4096) -> PatternFn:
+    def fn(rng, footprint, length):
+        return patterns.pointer_chase(rng, footprint, length, restart)
+
+    return fn
+
+
+def _strided(stride: int) -> PatternFn:
+    def fn(rng, footprint, length):
+        return patterns.strided(rng, footprint, length, stride)
+
+    return fn
+
+
+def _site(pages: int, count: int = 1, kind: VMAKind = VMAKind.HEAP) -> AllocationSite:
+    return AllocationSite(pages, count, kind)
+
+
+# ---------------------------------------------------------------------------
+# The application models
+# ---------------------------------------------------------------------------
+
+WORKLOADS: dict[str, Workload] = {}
+
+
+def _register(workload: Workload) -> None:
+    WORKLOADS[workload.name] = workload
+
+
+_register(Workload(
+    name="GemsFDTD",
+    sites=(_site(8192, 7),),                       # seven field arrays, 224 MiB
+    mem_ops_per_instr=0.45,
+    pattern=_mix((0.85, _sequential(streams=6, repeats=2)), (0.15, _gaussian(48.0))),
+    description="FDTD stencil: six concurrent sequential field sweeps",
+))
+
+_register(Workload(
+    name="astar_biglake",
+    sites=(_site(24576), _site(8192)),             # map + open list, 128 MiB
+    mem_ops_per_instr=0.35,
+    pattern=_mix((0.7, _gaussian(256.0, drift=4.0)), (0.3, _uniform)),
+    description="grid pathfinding: drifting search frontier",
+))
+
+_register(Workload(
+    name="cactusADM",
+    sites=(_site(16384, 2),),                      # 3D grid halves, 128 MiB
+    mem_ops_per_instr=0.40,
+    pattern=_mix((0.6, _sequential(streams=3, repeats=2)), (0.4, _gaussian(16.0))),
+    description="ADM stencil: planes swept with tight reuse",
+))
+
+_register(Workload(
+    name="canneal",
+    sites=(_site(24576), _site(16384), _site(8192)),  # netlist, 192 MiB
+    mem_ops_per_instr=0.30,
+    pattern=_mix(
+        (0.45, _uniform), (0.35, _gaussian(128.0)), (0.2, _sequential(streams=2)),
+    ),
+    description="simulated annealing: random element swaps over a netlist",
+))
+
+_register(Workload(
+    name="graph500",
+    sites=(_site(32768, 4),),                      # CSR arrays, 512 MiB
+    mem_ops_per_instr=0.30,
+    pattern=_mix(
+        (0.5, _zipf(0.6)), (0.3, _sequential(streams=2, repeats=2)), (0.2, _uniform),
+    ),
+    description="BFS: skewed vertex popularity + frontier scans",
+))
+
+_register(Workload(
+    name="gups",
+    sites=(_site(131072),),                        # one giant table, 512 MiB
+    mem_ops_per_instr=0.35,
+    pattern=_uniform,
+    description="random-access updates over one huge table",
+))
+
+_register(Workload(
+    name="mcf",
+    sites=(_site(32768), _site(16384, 2)),         # arcs + nodes, 256 MiB
+    mem_ops_per_instr=0.35,
+    pattern=_mix(
+        (0.5, _chase()), (0.25, _uniform), (0.25, _sequential(streams=2)),
+    ),
+    description="network simplex: pointer chasing over arc lists",
+))
+
+_register(Workload(
+    name="milc",
+    sites=(_site(8192, 4),),                       # lattice fields, 128 MiB
+    mem_ops_per_instr=0.40,
+    pattern=_mix((0.7, _sequential(streams=4, repeats=2)), (0.3, _uniform)),
+    description="lattice QCD: strided field sweeps",
+))
+
+_register(Workload(
+    name="mummer",
+    sites=(_site(32768), _site(16384)),            # suffix tree + refs, 192 MiB
+    mem_ops_per_instr=0.30,
+    pattern=_mix((0.6, _chase(restart=2048)), (0.4, _sequential(streams=2))),
+    description="genome alignment: suffix-tree walks",
+))
+
+_register(Workload(
+    name="omnetpp",
+    sites=(_site(256, 30), _site(1024, 2)),        # arena-grouped small heap
+    mem_ops_per_instr=0.30,
+    pattern=_mix((0.4, _zipf(1.4)), (0.6, _gaussian(48.0))),
+    description="discrete event simulation: small-object heap traffic",
+))
+
+_register(Workload(
+    name="soplex_pds",
+    sites=(_site(256, 48),),                       # factorisation blocks, 48 MiB
+    mem_ops_per_instr=0.35,
+    pattern=_mix(
+        (0.4, _strided(32)), (0.3, _sequential(streams=2)), (0.3, _uniform),
+    ),
+    description="LP simplex: sparse matrix rows + scattered columns",
+))
+
+_register(Workload(
+    name="sphinx3",
+    sites=(_site(128, 64),),                       # acoustic model blocks, 32 MiB
+    mem_ops_per_instr=0.35,
+    pattern=_mix((0.5, _zipf(0.7)), (0.5, _sequential(streams=3))),
+    description="speech recognition: hot senones + model scans",
+))
+
+_register(Workload(
+    name="tigr",
+    sites=(_site(24576), _site(8192)),             # assembly tables, 128 MiB
+    mem_ops_per_instr=0.30,
+    pattern=_mix(
+        (0.5, _uniform), (0.3, _chase(restart=1024)), (0.2, _sequential()),
+    ),
+    description="genome assembly: scattered overlap table probes",
+))
+
+_register(Workload(
+    name="xalancbmk",
+    sites=(_site(128, 60), _site(1024, 3)),        # DOM arenas
+    mem_ops_per_instr=0.30,
+    pattern=_mix((0.45, _zipf(1.3)), (0.35, _gaussian(64.0)), (0.2, _sequential(streams=2))),
+    description="XSLT: DOM node soup with skewed reuse",
+))
+
+# Used only by the Fig. 1 contiguity study (PARSEC raytrace).
+_register(Workload(
+    name="raytrace",
+    sites=(_site(8192), _site(4096), _site(2048), _site(32, 100)),
+    mem_ops_per_instr=0.30,
+    pattern=_mix((0.5, _gaussian(192.0)), (0.5, _uniform)),
+    description="PARSEC raytrace: BVH traversal (Fig. 1 only)",
+))
+
+#: Canonical per-figure ordering (matches the paper's x axes).
+WORKLOAD_ORDER = (
+    "GemsFDTD",
+    "astar_biglake",
+    "cactusADM",
+    "canneal",
+    "graph500",
+    "gups",
+    "mcf",
+    "milc",
+    "mummer",
+    "omnetpp",
+    "soplex_pds",
+    "sphinx3",
+    "tigr",
+    "xalancbmk",
+)
+
+
+def workload_names(include_fig1_only: bool = False) -> tuple[str, ...]:
+    if include_fig1_only:
+        return WORKLOAD_ORDER + ("raytrace",)
+    return WORKLOAD_ORDER
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None

@@ -1,0 +1,7 @@
+"""Small shared utilities: seeded RNG, text tables, histograms."""
+
+from repro.util.rng import make_rng, spawn_rng
+from repro.util.histogram import Histogram, cdf_points
+from repro.util.tables import format_table
+
+__all__ = ["make_rng", "spawn_rng", "Histogram", "cdf_points", "format_table"]

@@ -1,0 +1,94 @@
+"""Text charts: horizontal bars, stacked bars, and CDF sketches.
+
+Experiments render their figures as plain text so the benchmark harness
+output is self-contained.  These are deliberately simple — fixed-width
+unicode-free ASCII — and shared by the CLI's ``--plot`` mode and the
+examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    max_value: float | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    peak = max_value if max_value is not None else max(values)
+    peak = max(peak, 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    rows = []
+    for label, value in zip(labels, values):
+        filled = round(min(value, peak) / peak * width)
+        bar = "#" * filled + "." * (width - filled)
+        rows.append(f"{str(label).rjust(label_width)} |{bar}| {value:.1f}{unit}")
+    return "\n".join(rows)
+
+
+def stacked_bar_chart(
+    labels: Sequence[str],
+    parts: Sequence[Sequence[float]],
+    part_symbols: str = "#=+-",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal stacked bars (one symbol per component).
+
+    Used for the Fig. 10/11 CPI breakdowns: each row stacks its
+    components into one bar scaled to the largest total.
+    """
+    if len(labels) != len(parts):
+        raise ValueError("labels and parts must have equal length")
+    if not labels:
+        return ""
+    totals = [sum(p) for p in parts]
+    peak = max(max(totals), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    rows = []
+    for label, components, total in zip(labels, parts, totals):
+        if len(components) > len(part_symbols):
+            raise ValueError("not enough symbols for the components")
+        bar = ""
+        for symbol, component in zip(part_symbols, components):
+            bar += symbol * round(component / peak * width)
+        bar = bar[:width].ljust(width, ".")
+        rows.append(f"{str(label).rjust(label_width)} |{bar}| {total:.2f}{unit}")
+    return "\n".join(rows)
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def cdf_sketch(
+    series: dict[str, list[tuple[int, float]]],
+    x_points: Sequence[int],
+) -> str:
+    """One row per series: CDF value at each x rendered as a shade.
+
+    The Fig. 1 presentation squeezed into text: darker cells mean more
+    pages live in chunks of at most that size, so a series that darkens
+    early is a fragmented mapping.
+    """
+    rows = []
+    name_width = max((len(name) for name in series), default=0)
+    for name, points in series.items():
+        cells = []
+        for x in x_points:
+            below = [fraction for size, fraction in points if size <= x]
+            cells.append(below[-1] if below else 0.0)
+        shades = "".join(
+            _SHADES[min(int(value * (len(_SHADES) - 1)), len(_SHADES) - 1)]
+            for value in cells
+        )
+        final = cells[-1] if cells else 0.0
+        rows.append(f"{name.rjust(name_width)} [{shades}] final={final:.2f}")
+    return "\n".join(rows)

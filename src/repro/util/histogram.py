@@ -1,0 +1,90 @@
+"""Integer-keyed histograms and cumulative distributions.
+
+The OS contiguity histogram of the paper (Section 4.1) is a list of
+``(contiguity, frequency)`` pairs; :class:`Histogram` is that structure
+plus the handful of reductions the selection algorithm and the Fig. 1
+CDF plots need.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+
+class Histogram:
+    """A frequency count over positive integer keys."""
+
+    def __init__(self, items: Iterable[int] = ()) -> None:
+        self._counts: Counter[int] = Counter(items)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, key: int, count: int = 1) -> None:
+        if key <= 0:
+            raise ValueError(f"histogram keys must be positive, got {key}")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count:
+            self._counts[key] += count
+
+    def discard(self, key: int, count: int = 1) -> None:
+        """Remove ``count`` occurrences of ``key`` (clamping at zero)."""
+        remaining = self._counts.get(key, 0) - count
+        if remaining > 0:
+            self._counts[key] = remaining
+        else:
+            self._counts.pop(key, None)
+
+    # -- queries -----------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(key, frequency)`` pairs in ascending key order."""
+        yield from sorted(self._counts.items())
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __getitem__(self, key: int) -> int:
+        return self._counts.get(key, 0)
+
+    @property
+    def total_items(self) -> int:
+        """Sum of frequencies (number of chunks)."""
+        return sum(self._counts.values())
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of key*frequency (number of pages covered)."""
+        return sum(k * f for k, f in self._counts.items())
+
+    def copy(self) -> "Histogram":
+        clone = Histogram()
+        clone._counts = Counter(self._counts)
+        return clone
+
+
+def cdf_points(histogram: Histogram, weighted: bool = True) -> list[tuple[int, float]]:
+    """Return the cumulative distribution of a histogram.
+
+    With ``weighted=True`` (the Fig. 1 presentation) each chunk
+    contributes proportionally to its size, i.e. the y-axis is the
+    fraction of *pages* living in chunks of at most x pages.
+    """
+    total = histogram.total_weight if weighted else histogram.total_items
+    if total == 0:
+        return []
+    points = []
+    running = 0
+    for key, freq in histogram.items():
+        running += key * freq if weighted else freq
+        points.append((key, running / total))
+    return points

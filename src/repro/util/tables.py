@@ -1,0 +1,50 @@
+"""Plain-text table rendering for experiment reports.
+
+Experiments print their results as aligned ASCII tables mirroring the
+rows/series of the paper's tables and figures, so the harness output is
+directly comparable with the publication.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _render_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 1,
+    title: str | None = None,
+) -> str:
+    """Format rows as an aligned, pipe-separated text table."""
+    text_rows = [[_render_cell(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def format_percent_bar(fraction: float, width: int = 40) -> str:
+    """Render a fraction in [0, 1] as a text bar (used for CDF sketches)."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = round(fraction * width)
+    return "#" * filled + "." * (width - filled)

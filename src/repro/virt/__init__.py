@@ -1,0 +1,23 @@
+"""Virtualized (two-dimensional) address translation substrate.
+
+Section 6 of the paper notes that virtualization amplifies TLB miss
+costs — a nested x86 walk issues up to 24 memory accesses instead of 4 —
+and cites work extending coverage schemes to nested translation.  This
+package provides the substrate to study hybrid coalescing under
+virtualization: guest and host mappings, their composition, and the
+nested latency model.
+"""
+
+from repro.virt.nested import (
+    NESTED_LATENCY,
+    NestedAddressSpace,
+    build_host_mapping,
+    nested_machine,
+)
+
+__all__ = [
+    "NESTED_LATENCY",
+    "NestedAddressSpace",
+    "build_host_mapping",
+    "nested_machine",
+]

@@ -1,0 +1,96 @@
+"""Nested (guest-on-host) translation.
+
+Two mappings stack: the guest OS maps guest-virtual to guest-physical
+pages, and the hypervisor maps guest-physical to host frames.  What the
+hardware TLB ultimately caches is the *composition* — and so is what any
+coalescing scheme can exploit: a guest chunk only stays a chunk if the
+hypervisor happened to map its guest-physical pages contiguously too.
+Composed contiguity is the pointwise minimum of the two layers, which is
+why host fragmentation silently destroys guest huge pages — the effect
+that motivated nested coverage work (Gandhi et al., MICRO'14).
+
+For hybrid coalescing this means the anchor information must be derived
+from the composed mapping (the hypervisor sees both layers); the
+composition below produces an ordinary :class:`MemoryMapping`, so every
+scheme in :mod:`repro.schemes` runs unchanged on it — only the walk
+latency differs (a 2D x86 walk issues up to 24 memory accesses: the 4
+guest levels each need a 4-access host walk plus the access itself,
+then 4 more host accesses for the final guest PA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import PageFaultError
+from repro.params import DEFAULT_MACHINE, LatencyModel, MachineConfig
+from repro.vmos.mapping import MemoryMapping
+from repro.vmos.scenarios import build_mapping
+from repro.vmos.vma import VMA
+
+#: 24 nested accesses at the flat model's 12.5 cycles per access.
+NESTED_WALK_CYCLES = 300
+
+#: Table 3 latencies with the page walk replaced by its nested cost.
+NESTED_LATENCY = LatencyModel(page_walk=NESTED_WALK_CYCLES)
+
+
+def nested_machine(base: MachineConfig = DEFAULT_MACHINE) -> MachineConfig:
+    """The Table 3 machine with nested walk latency."""
+    return replace(base, latency=NESTED_LATENCY)
+
+
+def build_host_mapping(
+    guest: MemoryMapping,
+    scenario: str,
+    seed: int | None = None,
+) -> MemoryMapping:
+    """Map the guest's *physical* space through a hypervisor scenario.
+
+    The guest-physical pages the guest actually uses form the
+    hypervisor's allocation regions; the hypervisor then maps them with
+    its own contiguity scenario (it suffers fragmentation exactly like a
+    bare-metal OS — that is the point).
+    """
+    gpfns = sorted(pfn for _, pfn in guest.items())
+    if not gpfns:
+        raise ValueError("guest mapping is empty")
+    # Maximal runs of guest-physical pages become hypervisor VMAs.
+    regions: list[VMA] = []
+    run_start = prev = gpfns[0]
+    for gpfn in gpfns[1:]:
+        if gpfn != prev + 1:
+            regions.append(VMA(run_start, prev - run_start + 1))
+            run_start = gpfn
+        prev = gpfn
+    regions.append(VMA(run_start, prev - run_start + 1))
+    return build_mapping(regions, scenario, seed=seed)
+
+
+@dataclass(frozen=True)
+class NestedAddressSpace:
+    """A guest mapping stacked on a host mapping."""
+
+    guest: MemoryMapping
+    host: MemoryMapping
+
+    def translate(self, gvpn: int) -> int:
+        """Guest-virtual page to host frame (the 2D walk's result)."""
+        return self.host.translate(self.guest.translate(gvpn))
+
+    def compose(self) -> MemoryMapping:
+        """Flatten to one guest-virtual -> host-frame mapping.
+
+        The result is what the TLB caches; its chunk structure is the
+        layer-wise minimum, and running any translation scheme on it
+        (with :data:`NESTED_LATENCY`) models the virtualized system.
+        """
+        composed = MemoryMapping(vmas=list(self.guest.vmas))
+        for gvpn, gpfn in self.guest.items():
+            hpfn = self.host.get(gpfn)
+            if hpfn is None:
+                raise PageFaultError(
+                    f"guest-physical page {gpfn:#x} not mapped by the host"
+                )
+            composed.map_page(gvpn, hpfn, self.guest.protection_of(gvpn))
+        return composed

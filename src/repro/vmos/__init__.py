@@ -1,0 +1,37 @@
+"""Operating-system substrate: page tables, paging policies, anchors.
+
+The modules here model everything the paper asks of the OS: building
+virtual-to-physical mappings under demand/eager paging on a fragmented
+buddy system, maintaining anchor entries and their contiguity counts in
+the page table, tracking the contiguity histogram, and running the
+dynamic anchor-distance selection algorithm (Algorithm 1).
+"""
+
+from repro.vmos.pte import PTEFlags, make_pte, pte_pfn, pte_flags, pte_contiguity
+from repro.vmos.mapping import MemoryMapping, Chunk
+from repro.vmos.page_table import PageTable, WalkResult
+from repro.vmos.vma import VMA, VMAKind
+from repro.vmos.process import Process
+from repro.vmos.contiguity import contiguity_histogram, chunks_of_mapping
+from repro.vmos.distance import select_distance, distance_cost
+from repro.vmos.anchor import AnchorDirectory
+
+__all__ = [
+    "PTEFlags",
+    "make_pte",
+    "pte_pfn",
+    "pte_flags",
+    "pte_contiguity",
+    "MemoryMapping",
+    "Chunk",
+    "PageTable",
+    "WalkResult",
+    "VMA",
+    "VMAKind",
+    "Process",
+    "contiguity_histogram",
+    "chunks_of_mapping",
+    "select_distance",
+    "distance_cost",
+    "AnchorDirectory",
+]

@@ -1,0 +1,53 @@
+"""Contiguity analysis of memory mappings.
+
+The OS side of the paper keeps, per process, a *contiguity histogram*:
+``(chunk size in pages, number of chunks)`` pairs describing how the
+process's memory is scattered over physical chunks (§4.1).  This module
+derives that histogram (and the Fig. 1 CDFs) from a
+:class:`~repro.vmos.mapping.MemoryMapping`.
+"""
+
+from __future__ import annotations
+
+from repro.util.histogram import Histogram, cdf_points
+from repro.vmos.mapping import Chunk, MemoryMapping
+
+
+def chunks_of_mapping(mapping: MemoryMapping) -> list[Chunk]:
+    """Maximal VA+PA-contiguous chunks of a mapping."""
+    return mapping.chunks()
+
+
+def contiguity_histogram(mapping: MemoryMapping) -> Histogram:
+    """The OS contiguity histogram of a mapping (chunk size -> count)."""
+    histogram = Histogram()
+    for chunk in mapping.chunks():
+        histogram.add(chunk.pages)
+    return histogram
+
+
+def contiguity_cdf(mapping: MemoryMapping) -> list[tuple[int, float]]:
+    """Page-weighted CDF of chunk sizes, the Fig. 1 presentation.
+
+    Returns ``(chunk_pages, cumulative_fraction_of_mapped_pages)``.
+    """
+    return cdf_points(contiguity_histogram(mapping), weighted=True)
+
+
+def mean_chunk_pages(mapping: MemoryMapping) -> float:
+    """Average chunk size in pages (0.0 for an empty mapping)."""
+    histogram = contiguity_histogram(mapping)
+    if not histogram:
+        return 0.0
+    return histogram.total_weight / histogram.total_items
+
+
+def coverage_at_or_below(mapping: MemoryMapping, pages: int) -> float:
+    """Fraction of mapped pages living in chunks of at most ``pages``."""
+    total = mapping.mapped_pages
+    if total == 0:
+        return 0.0
+    covered = sum(
+        chunk.pages for chunk in mapping.chunks() if chunk.pages <= pages
+    )
+    return covered / total

@@ -1,0 +1,169 @@
+"""The virtual-to-physical memory mapping of one process.
+
+This is the paper's central object of study: the function
+``VPN -> PFN`` whose *contiguity structure* decides how well each
+translation scheme can coalesce.  The class keeps the mapping as a dict
+(sparse in VPN space) plus the VMA list, and offers the derived views
+everything else consumes: maximal contiguous chunks, the contiguity
+histogram, and ground-truth translation for the differential tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError, PageFaultError
+from repro.mem.frames import FrameRange
+from repro.vmos.vma import VMA
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A maximal run of pages contiguous in both VA and PA."""
+
+    vpn: int
+    pfn: int
+    pages: int
+
+    @property
+    def end_vpn(self) -> int:
+        return self.vpn + self.pages
+
+
+#: Default page protection: present + read/write (see PTEFlags).
+DEFAULT_PROT = 0b11
+
+
+@dataclass
+class MemoryMapping:
+    """VPN -> PFN map for a process, with chunk-structure queries.
+
+    Pages optionally carry a *protection* tag (an opaque int — r/w/x
+    permission combination).  Per paper §3.3, pages with differing
+    permissions must not be coalesced even when physically contiguous,
+    so a protection change ends a chunk.
+    """
+
+    vmas: list[VMA] = field(default_factory=list)
+    _map: dict[int, int] = field(default_factory=dict)
+    _prot: dict[int, int] = field(default_factory=dict)
+    _chunks_cache: list[Chunk] | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def map_page(self, vpn: int, pfn: int, prot: int = DEFAULT_PROT) -> None:
+        if vpn in self._map:
+            raise MappingError(f"vpn {vpn:#x} already mapped")
+        self._map[vpn] = pfn
+        if prot != DEFAULT_PROT:
+            self._prot[vpn] = prot
+        self._chunks_cache = None
+
+    def map_run(self, vpn: int, frames: FrameRange, prot: int = DEFAULT_PROT) -> None:
+        """Map ``frames.count`` consecutive VPNs to a contiguous run."""
+        for i in range(frames.count):
+            self.map_page(vpn + i, frames.start + i, prot)
+
+    def unmap_page(self, vpn: int) -> int:
+        try:
+            pfn = self._map.pop(vpn)
+        except KeyError:
+            raise MappingError(f"vpn {vpn:#x} not mapped") from None
+        self._prot.pop(vpn, None)
+        self._chunks_cache = None
+        return pfn
+
+    def set_protection(self, vpn: int, pages: int, prot: int) -> None:
+        """mprotect: change the protection of ``pages`` pages at ``vpn``.
+
+        Per §3.3, this splits any coalesced coverage at the boundaries —
+        the chunk structure changes even though the frames do not.
+        """
+        for i in range(pages):
+            if vpn + i not in self._map:
+                raise MappingError(f"vpn {vpn + i:#x} not mapped")
+            if prot == DEFAULT_PROT:
+                self._prot.pop(vpn + i, None)
+            else:
+                self._prot[vpn + i] = prot
+        self._chunks_cache = None
+
+    def protection_of(self, vpn: int) -> int:
+        return self._prot.get(vpn, DEFAULT_PROT)
+
+    # ------------------------------------------------------------------
+    # Translation (ground truth)
+    # ------------------------------------------------------------------
+
+    def translate(self, vpn: int) -> int:
+        try:
+            return self._map[vpn]
+        except KeyError:
+            raise PageFaultError(f"vpn {vpn:#x} not mapped") from None
+
+    def get(self, vpn: int) -> int | None:
+        return self._map.get(vpn)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._map)
+
+    def items(self):
+        """Yield (vpn, pfn) in ascending VPN order."""
+        yield from sorted(self._map.items())
+
+    def as_dict(self) -> dict[int, int]:
+        """A copy of the raw map (used by the fast simulator path)."""
+        return dict(self._map)
+
+    # ------------------------------------------------------------------
+    # Chunk structure
+    # ------------------------------------------------------------------
+
+    def chunks(self) -> list[Chunk]:
+        """Maximal runs contiguous in both VA and PA, ascending by VPN.
+
+        A run also ends where the page protection changes (§3.3): such
+        pages must not be served by a coalesced entry.
+        """
+        if self._chunks_cache is None:
+            chunks: list[Chunk] = []
+            prot = self._prot
+            start_vpn = start_pfn = prev_vpn = prev_pfn = None
+            run_prot = None
+            for vpn, pfn in sorted(self._map.items()):
+                page_prot = prot.get(vpn, DEFAULT_PROT)
+                if (
+                    start_vpn is not None
+                    and vpn == prev_vpn + 1
+                    and pfn == prev_pfn + 1
+                    and page_prot == run_prot
+                ):
+                    prev_vpn, prev_pfn = vpn, pfn
+                else:
+                    if start_vpn is not None:
+                        chunks.append(
+                            Chunk(start_vpn, start_pfn, prev_vpn - start_vpn + 1)
+                        )
+                    start_vpn, start_pfn = vpn, pfn
+                    prev_vpn, prev_pfn = vpn, pfn
+                    run_prot = page_prot
+            if start_vpn is not None:
+                chunks.append(Chunk(start_vpn, start_pfn, prev_vpn - start_vpn + 1))
+            self._chunks_cache = chunks
+        return self._chunks_cache
+
+    def chunk_covering(self, vpn: int) -> Chunk | None:
+        """The chunk containing ``vpn``, or None if unmapped."""
+        for chunk in self.chunks():  # chunks are few; linear scan is fine
+            if chunk.vpn <= vpn < chunk.end_vpn:
+                return chunk
+        return None

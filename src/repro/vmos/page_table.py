@@ -1,0 +1,249 @@
+"""An x86-64-style four-level radix page table with anchor entries.
+
+The table maps 36-bit VPNs through four 9-bit-indexed levels.  Leaves at
+the bottom level map 4 KiB pages; leaves one level up with the HUGE flag
+map 2 MiB pages.  Anchor contiguity counts live in the ignored bits of
+4 KiB leaf PTEs (see :mod:`repro.vmos.pte`).
+
+The walker interface reports how many memory accesses a hardware page
+walk would issue (one per level, fewer for huge leaves), which feeds the
+latency model, and the sweep interface reports how many entries an OS
+anchor-distance change must visit, which feeds the §3.3 cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError, PageFaultError
+from repro.params import HUGE_PAGE_PAGES, PT_LEVELS, PTE_PER_TABLE, VPN_BITS
+from repro.vmos.pte import (
+    PTEFlags,
+    make_pte,
+    pte_contiguity,
+    pte_huge,
+    pte_pfn,
+    with_contiguity,
+)
+
+_LEVEL_BITS = 9
+_HUGE_SHIFT = 9  # a 2 MiB leaf sits one level above the 4 KiB leaves
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Outcome of a page-table walk."""
+
+    pfn: int                #: PFN of the 4 KiB frame backing the VPN
+    huge: bool              #: True if mapped by a 2 MiB leaf
+    leaf_vpn: int           #: VPN of the leaf's first page
+    contiguity: int         #: anchor contiguity stored in the leaf (4 KiB only)
+    memory_accesses: int    #: memory references the hardware walk issued
+
+
+class PageTable:
+    """Radix page table: nested dicts of packed PTE ints."""
+
+    def __init__(self) -> None:
+        self._root: dict[int, object] = {}
+        self._leaf_count = 0
+        self._huge_leaf_count = 0
+
+    # ------------------------------------------------------------------
+    # Index arithmetic
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _indices(vpn: int) -> tuple[int, ...]:
+        if vpn < 0 or vpn >= (1 << VPN_BITS):
+            raise ValueError(f"vpn {vpn:#x} out of range")
+        return tuple(
+            (vpn >> (_LEVEL_BITS * (PT_LEVELS - 1 - level))) & (PTE_PER_TABLE - 1)
+            for level in range(PT_LEVELS)
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def map_page(self, vpn: int, pfn: int, flags: PTEFlags = PTEFlags.PRESENT) -> None:
+        """Install a 4 KiB leaf."""
+        idx = self._indices(vpn)
+        node = self._root
+        for level in range(PT_LEVELS - 1):
+            entry = node.get(idx[level])
+            if entry is None:
+                entry = {}
+                node[idx[level]] = entry
+            elif not isinstance(entry, dict):
+                raise MappingError(f"vpn {vpn:#x} covered by a huge leaf")
+            node = entry
+        if idx[-1] in node:
+            raise MappingError(f"vpn {vpn:#x} already mapped")
+        node[idx[-1]] = make_pte(pfn, flags | PTEFlags.PRESENT)
+        self._leaf_count += 1
+
+    def map_huge(self, vpn: int, pfn: int, flags: PTEFlags = PTEFlags.PRESENT) -> None:
+        """Install a 2 MiB leaf; ``vpn`` and ``pfn`` must be 512-aligned."""
+        if vpn % HUGE_PAGE_PAGES or pfn % HUGE_PAGE_PAGES:
+            raise MappingError("huge mappings must be 2MiB-aligned in VA and PA")
+        idx = self._indices(vpn)
+        node = self._root
+        for level in range(PT_LEVELS - 2):
+            entry = node.get(idx[level])
+            if entry is None:
+                entry = {}
+                node[idx[level]] = entry
+            elif not isinstance(entry, dict):
+                raise MappingError(f"vpn {vpn:#x} covered by a larger leaf")
+            node = entry
+        if idx[-2] in node:
+            raise MappingError(f"vpn {vpn:#x} already mapped at PD level")
+        node[idx[-2]] = make_pte(pfn, flags | PTEFlags.PRESENT | PTEFlags.HUGE)
+        self._huge_leaf_count += 1
+
+    def unmap_page(self, vpn: int) -> None:
+        idx = self._indices(vpn)
+        node = self._root
+        for level in range(PT_LEVELS - 1):
+            entry = node.get(idx[level])
+            if not isinstance(entry, dict):
+                raise MappingError(f"vpn {vpn:#x} not mapped as a 4KiB page")
+            node = entry
+        if idx[-1] not in node:
+            raise MappingError(f"vpn {vpn:#x} not mapped")
+        del node[idx[-1]]
+        self._leaf_count -= 1
+
+    def set_contiguity(self, vpn: int, contiguity: int) -> None:
+        """Write the anchor contiguity field of the 4 KiB leaf at ``vpn``."""
+        node = self._leaf_table(vpn)
+        slot = self._indices(vpn)[-1]
+        if node is None or slot not in node:
+            raise MappingError(f"vpn {vpn:#x} has no 4KiB leaf to anchor")
+        node[slot] = with_contiguity(node[slot], contiguity)
+
+    # ------------------------------------------------------------------
+    # Walking
+    # ------------------------------------------------------------------
+
+    def walk(self, vpn: int) -> WalkResult:
+        """Translate ``vpn``, counting hardware memory accesses."""
+        idx = self._indices(vpn)
+        node = self._root
+        accesses = 0
+        for level in range(PT_LEVELS):
+            accesses += 1
+            entry = node.get(idx[level])
+            if entry is None:
+                raise PageFaultError(f"vpn {vpn:#x} not mapped (level {level})")
+            if isinstance(entry, dict):
+                node = entry
+                continue
+            if level == PT_LEVELS - 2:  # huge leaf
+                if not pte_huge(entry):
+                    raise MappingError("non-huge PTE at PD level")
+                base = pte_pfn(entry)
+                offset = vpn & (HUGE_PAGE_PAGES - 1)
+                return WalkResult(
+                    pfn=base + offset,
+                    huge=True,
+                    leaf_vpn=vpn & ~(HUGE_PAGE_PAGES - 1),
+                    contiguity=0,
+                    memory_accesses=accesses,
+                )
+            if level == PT_LEVELS - 1:  # 4 KiB leaf
+                return WalkResult(
+                    pfn=pte_pfn(entry),
+                    huge=False,
+                    leaf_vpn=vpn,
+                    contiguity=pte_contiguity(entry),
+                    memory_accesses=accesses,
+                )
+            raise MappingError(f"unexpected leaf at level {level}")
+        raise PageFaultError(f"vpn {vpn:#x} not mapped")
+
+    def lookup(self, vpn: int) -> WalkResult | None:
+        """Like :meth:`walk` but returning None instead of faulting."""
+        try:
+            return self.walk(vpn)
+        except PageFaultError:
+            return None
+
+    # ------------------------------------------------------------------
+    # OS sweeps
+    # ------------------------------------------------------------------
+
+    def sweep_anchor_contiguity(
+        self, distance: int, contiguity_of: "dict[int, int]"
+    ) -> int:
+        """Set contiguity on every distance-aligned 4 KiB leaf.
+
+        ``contiguity_of`` maps anchor VPN -> contiguity count (as computed
+        by :class:`repro.vmos.anchor.AnchorDirectory`).  Entries that are
+        not distance-aligned get their contiguity cleared.  Returns the
+        number of leaf entries visited, the input to the §3.3 distance-
+        change cost model.
+        """
+        visited = 0
+        for leaf_vpn, table in self._iter_leaf_tables():
+            for slot, pte in table.items():
+                vpn = leaf_vpn + slot
+                visited += 1
+                if vpn % distance == 0:
+                    table[slot] = with_contiguity(pte, contiguity_of.get(vpn, 0))
+                elif pte_contiguity(pte):
+                    table[slot] = with_contiguity(pte, 0)
+        return visited
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def leaf_count(self) -> int:
+        return self._leaf_count
+
+    @property
+    def huge_leaf_count(self) -> int:
+        return self._huge_leaf_count
+
+    def iter_leaves(self):
+        """Yield (vpn, pfn, huge) for every mapping, ascending by VPN."""
+        yield from self._iter_node(self._root, 0, 0)
+
+    def _iter_node(self, node: dict, level: int, base_vpn: int):
+        shift = _LEVEL_BITS * (PT_LEVELS - 1 - level)
+        for slot in sorted(node):
+            entry = node[slot]
+            vpn = base_vpn | (slot << shift)
+            if isinstance(entry, dict):
+                yield from self._iter_node(entry, level + 1, vpn)
+            elif level == PT_LEVELS - 2:
+                yield (vpn, pte_pfn(entry), True)
+            else:
+                yield (vpn, pte_pfn(entry), False)
+
+    def _leaf_table(self, vpn: int) -> dict | None:
+        idx = self._indices(vpn)
+        node = self._root
+        for level in range(PT_LEVELS - 1):
+            entry = node.get(idx[level])
+            if not isinstance(entry, dict):
+                return None
+            node = entry
+        return node
+
+    def _iter_leaf_tables(self):
+        """Yield (base_vpn, leaf_table_dict) for every bottom-level table."""
+        stack = [(self._root, 0, 0)]
+        while stack:
+            node, level, base = stack.pop()
+            shift = _LEVEL_BITS * (PT_LEVELS - 1 - level)
+            for slot, entry in node.items():
+                if isinstance(entry, dict):
+                    child_base = base | (slot << shift)
+                    if level == PT_LEVELS - 2:
+                        yield (child_base, entry)
+                    else:
+                        stack.append((entry, level + 1, child_base))

@@ -1,0 +1,63 @@
+"""A process: VMAs + mapping + per-process translation state.
+
+The process object carries what the paper's OS keeps per task: the
+memory map, the contiguity histogram derived from it, the current
+anchor distance (restored to the anchor-distance register on context
+switch, §3.1), and the shootdown/distance-change log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.histogram import Histogram
+from repro.vmos.anchor import AnchorDirectory
+from repro.vmos.contiguity import contiguity_histogram
+from repro.vmos.distance import select_distance
+from repro.vmos.mapping import MemoryMapping
+from repro.vmos.page_table import PageTable
+from repro.vmos.shootdown import ShootdownLog
+from repro.vmos.vma import VMA
+
+
+@dataclass
+class Process:
+    """One simulated process."""
+
+    name: str
+    mapping: MemoryMapping
+    anchor_distance: int = 8
+    shootdowns: ShootdownLog = field(default_factory=ShootdownLog)
+
+    @property
+    def vmas(self) -> list[VMA]:
+        return self.mapping.vmas
+
+    @property
+    def footprint_pages(self) -> int:
+        return self.mapping.mapped_pages
+
+    def histogram(self) -> Histogram:
+        return contiguity_histogram(self.mapping)
+
+    def reselect_distance(self) -> tuple[int, bool, float]:
+        """Run Algorithm 1; change the distance if the pick differs.
+
+        Returns ``(distance, changed, cost_ms)``.
+        """
+        picked = select_distance(self.histogram())
+        if picked == self.anchor_distance:
+            return picked, False, 0.0
+        cost = self.shootdowns.record_distance_change(self.footprint_pages, picked)
+        self.anchor_distance = picked
+        return picked, True, cost
+
+    def anchor_directory(self, distance: int | None = None) -> AnchorDirectory:
+        """The coverage plan at the process's (or a given) distance."""
+        return AnchorDirectory.build(
+            self.mapping, distance or self.anchor_distance
+        )
+
+    def build_page_table(self, distance: int | None = None) -> PageTable:
+        """Materialise the anchored page table (used by fidelity tests)."""
+        return self.anchor_directory(distance).populate_page_table()

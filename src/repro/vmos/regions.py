@@ -1,0 +1,124 @@
+"""Multi-region anchors — the paper's §4.2 future-work extension.
+
+A single process-wide anchor distance is a compromise when different
+parts of the address space have different contiguity (e.g. a hugely
+contiguous heap next to a fragmented shared-library area).  The paper
+sketches *regions*: a small, fully associative table of
+``(start VPN, end VPN, anchor distance)`` triples, consulted in parallel
+with the TLB lookup, so each region uses its own distance.
+
+This module implements the region table plus a simple partitioner that
+groups VMAs by their dominant chunk size and assigns each group the
+distance Algorithm 1 picks for its own sub-histogram.  The ablation
+bench compares it against the single-distance scheme on mappings with
+bimodal contiguity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import ANCHOR_DISTANCES
+from repro.util.histogram import Histogram
+from repro.vmos.distance import select_distance
+from repro.vmos.mapping import MemoryMapping
+from repro.vmos.vma import VMA
+
+
+@dataclass(frozen=True)
+class AnchorRegion:
+    """One region: ``[start_vpn, end_vpn)`` translated at ``distance``."""
+
+    start_vpn: int
+    end_vpn: int
+    distance: int
+
+    def __contains__(self, vpn: int) -> bool:
+        return self.start_vpn <= vpn < self.end_vpn
+
+
+class RegionTable:
+    """A bounded, fully associative region table (HW model).
+
+    Like RMM's range TLB, the parallel range compare limits how many
+    regions the hardware can hold; the default of 8 keeps the lookup
+    latency within an L2 TLB access (§4.2).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.regions: list[AnchorRegion] = []
+
+    def install(self, regions: list[AnchorRegion]) -> None:
+        if len(regions) > self.capacity:
+            raise ValueError(
+                f"{len(regions)} regions exceed table capacity {self.capacity}"
+            )
+        overlaps = sorted(regions, key=lambda r: r.start_vpn)
+        for a, b in zip(overlaps, overlaps[1:]):
+            if b.start_vpn < a.end_vpn:
+                raise ValueError("regions overlap")
+        self.regions = list(regions)
+
+    def distance_for(self, vpn: int, default: int) -> int:
+        for region in self.regions:
+            if vpn in region:
+                return region.distance
+        return default
+
+
+def partition_regions(
+    mapping: MemoryMapping,
+    vmas: list[VMA],
+    capacity: int = 8,
+    candidates: tuple[int, ...] = ANCHOR_DISTANCES,
+) -> list[AnchorRegion]:
+    """Group VMAs into at most ``capacity`` regions with per-region distances.
+
+    Adjacent VMAs whose per-VMA best distances agree are merged; if more
+    groups than ``capacity`` remain, the smallest-footprint groups are
+    merged into their neighbours (re-selecting the distance for the
+    combined histogram).
+    """
+    if not vmas:
+        return []
+    # Per-VMA histogram and best distance.
+    per_vma: list[tuple[VMA, Histogram]] = []
+    for vma in sorted(vmas, key=lambda v: v.start_vpn):
+        histogram = Histogram()
+        for chunk in mapping.chunks():
+            if chunk.vpn >= vma.start_vpn and chunk.end_vpn <= vma.end_vpn:
+                histogram.add(chunk.pages)
+        per_vma.append((vma, histogram))
+
+    # Merge adjacent VMAs that agree on the selected distance.
+    groups: list[tuple[int, int, Histogram]] = []  # (start, end, histogram)
+    for vma, histogram in per_vma:
+        distance = select_distance(histogram, candidates)
+        if groups:
+            g_start, g_end, g_hist = groups[-1]
+            if select_distance(g_hist, candidates) == distance:
+                for key, freq in histogram.items():
+                    g_hist.add(key, freq)
+                groups[-1] = (g_start, max(g_end, vma.end_vpn), g_hist)
+                continue
+        groups.append((vma.start_vpn, vma.end_vpn, histogram.copy()))
+
+    # Respect the hardware capacity by merging smallest groups first.
+    while len(groups) > capacity:
+        smallest = min(range(len(groups)), key=lambda i: groups[i][2].total_weight)
+        neighbour = smallest - 1 if smallest else 1
+        lo, hi = sorted((smallest, neighbour))
+        start = groups[lo][0]
+        end = max(groups[lo][1], groups[hi][1])
+        merged = groups[lo][2]
+        for key, freq in groups[hi][2].items():
+            merged.add(key, freq)
+        groups[lo:hi + 1] = [(start, end, merged)]
+
+    return [
+        AnchorRegion(start, end, select_distance(histogram, candidates))
+        for start, end, histogram in groups
+    ]

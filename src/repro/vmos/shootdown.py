@@ -1,0 +1,61 @@
+"""TLB shootdown and distance-change bookkeeping (paper §3.3).
+
+Whenever the OS updates a mapping it must invalidate stale TLB entries
+on every core (a conventional shootdown, extended to cover the affected
+anchor entries), and whenever it changes a process's anchor distance it
+must sweep the page table and flush the TLB entirely.  This module
+tracks those events and their modelled costs so experiments can report
+the OS-side overhead alongside the translation-cycle wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vmos.anchor import TLB_FLUSH_US, distance_change_cost_ms
+
+
+@dataclass
+class ShootdownEvent:
+    """One shootdown: which pages and anchors were invalidated."""
+
+    pages: int
+    anchors: int
+    cores: int
+
+
+@dataclass
+class ShootdownLog:
+    """Accumulates shootdown and distance-change costs for a process."""
+
+    cores: int = 4
+    #: Per-core inter-processor-interrupt cost, microseconds.
+    ipi_us: float = 2.0
+    events: list[ShootdownEvent] = field(default_factory=list)
+    distance_changes: list[tuple[int, float]] = field(default_factory=list)
+
+    def record_unmap(self, pages: int, distance: int) -> ShootdownEvent:
+        """Record a mapping update: invalidate pages + affected anchors.
+
+        Updating N pages dirties at most ``N // distance + 2`` anchor
+        entries (the anchors whose windows overlap the update).
+        """
+        anchors = pages // distance + 2
+        event = ShootdownEvent(pages=pages, anchors=anchors, cores=self.cores)
+        self.events.append(event)
+        return event
+
+    def record_distance_change(self, footprint_pages: int, new_distance: int) -> float:
+        """Record a distance change; returns its cost in milliseconds."""
+        cost = distance_change_cost_ms(footprint_pages, new_distance)
+        self.distance_changes.append((new_distance, cost))
+        return cost
+
+    @property
+    def total_shootdown_us(self) -> float:
+        per_event = self.ipi_us * self.cores + TLB_FLUSH_US / 10.0
+        return len(self.events) * per_event
+
+    @property
+    def total_distance_change_ms(self) -> float:
+        return sum(cost for _, cost in self.distance_changes)

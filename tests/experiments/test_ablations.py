@@ -1,0 +1,56 @@
+"""Tests for the ablation experiments (small configurations)."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(references=2500, seed=5, ideal_subsample=8)
+
+
+class TestDistanceSensitivity:
+    def test_marks_dynamic_pick(self, config):
+        report = ablations.distance_sensitivity("sphinx3", "medium", config)
+        marked = [row for row in report.table if row[2]]
+        assert len(marked) == 1
+
+
+class TestL2SizeSweep:
+    def test_bigger_l2_never_hurts(self, config):
+        report = ablations.l2_size_sweep(
+            "sphinx3", "medium", sizes=(256, 1024, 4096),
+            schemes=("base",), config=config,
+        )
+        walks = report.column("base")
+        assert walks == sorted(walks, reverse=True)
+
+    def test_anchor_advantage_persists_across_sizes(self, config):
+        report = ablations.l2_size_sweep(
+            "sphinx3", "medium", sizes=(512, 2048),
+            schemes=("base", "anchor-dyn"), config=config,
+        )
+        for row in report.table:
+            assert row[2] <= row[1]
+
+
+class TestRegionAblation:
+    def test_regions_not_worse_than_single_distance(self):
+        report = ablations.region_anchors(references=8000, seed=1)
+        single = report.table[0][1]
+        per_region = report.table[1][1]
+        assert per_region <= single * 1.02
+
+
+class TestCostWeighting:
+    def test_reports_both_picks(self, config):
+        report = ablations.cost_weighting(
+            workloads=("sphinx3",), config=config
+        )
+        row = report.table[0]
+        assert row[1] in {2 ** i for i in range(1, 17)}
+        assert row[2] in {2 ** i for i in range(1, 17)}
+        # The simulated best column holds the minimum walks.
+        assert row[6] <= row[4] and row[6] <= row[5]

@@ -1,0 +1,26 @@
+"""Tests for the anchor-tlb CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCLI:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_table6_runs(self, capsys):
+        assert main(["table6", "--references", "1500", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 6" in out
+        assert "GemsFDTD" in out
+
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2", "--references", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.2" in out
+
+    def test_distance_cost_runs(self, capsys):
+        assert main(["distance-cost"]) == 0
+        assert "452" in capsys.readouterr().out

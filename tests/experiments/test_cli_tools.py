@@ -1,0 +1,36 @@
+"""Tests for the CLI's list/inspect/plot tooling."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestListCommand:
+    def test_lists_workloads_and_schemes(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gups" in out and "omnetpp" in out
+        assert "anchor-dyn" in out
+        assert "Scenarios: demand, eager, low, medium, high, max" in out
+
+
+class TestInspectCommand:
+    def test_inspect_shows_selection(self, capsys):
+        assert main(["inspect", "--workload", "sphinx3",
+                     "--scenario", "low", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sphinx3 / low" in out
+        assert "<-- selected" in out
+        assert "mapping:" in out and "trace:" in out
+
+    def test_inspect_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["inspect", "--workload", "quake"])
+
+
+class TestPlotFlag:
+    def test_fig2_plot_renders_bars(self, capsys):
+        assert main(["fig2", "--references", "1500", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "|#" in out
+        assert "small:" in out and "large:" in out

@@ -1,0 +1,58 @@
+"""Tests for the experiment matrix runner."""
+
+import pytest
+
+from repro.experiments.common import (
+    STATIC_IDEAL,
+    ExperimentConfig,
+    MatrixRunner,
+    figure_schemes,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return MatrixRunner(ExperimentConfig(references=3000, seed=2,
+                                         ideal_subsample=8))
+
+
+class TestRunner:
+    def test_mapping_cached(self, runner):
+        a = runner.mapping("sphinx3", "medium")
+        b = runner.mapping("sphinx3", "medium")
+        assert a is b
+
+    def test_trace_cached(self, runner):
+        assert runner.trace("sphinx3") is runner.trace("sphinx3")
+
+    def test_run_cell_and_cache(self, runner):
+        r1 = runner.run("sphinx3", "medium", "base")
+        r2 = runner.run("sphinx3", "medium", "base")
+        assert r1 is r2
+        assert r1.stats.accesses == 3000
+
+    def test_relative_misses_base_is_100(self, runner):
+        assert runner.relative_misses("sphinx3", "medium", "base") == 100.0
+
+    def test_static_ideal_cell(self, runner):
+        result = runner.run("sphinx3", "medium", STATIC_IDEAL)
+        assert result.scheme == "anchor-ideal"
+        assert "ideal_distance" in result.extras
+
+    def test_ideal_not_worse_than_dynamic(self, runner):
+        dynamic = runner.run("sphinx3", "medium", "anchor-dyn")
+        ideal = runner.run("sphinx3", "medium", STATIC_IDEAL)
+        assert ideal.stats.walks <= dynamic.stats.walks * 1.05
+
+    def test_scenario_rows_shape(self, runner):
+        rows = runner.scenario_rows("medium", ("base", "thp"),
+                                    workloads=("sphinx3", "omnetpp"))
+        assert len(rows) == 3  # two workloads + mean
+        assert rows[-1][0] == "mean"
+        assert rows[-1][1] == pytest.approx(100.0)
+
+
+class TestFigureSchemes:
+    def test_with_and_without_ideal(self):
+        assert figure_schemes(True)[-1] == STATIC_IDEAL
+        assert STATIC_IDEAL not in figure_schemes(False)

@@ -1,0 +1,37 @@
+"""Tests for the Fig. 1 contiguity-CDF experiment."""
+
+import pytest
+
+from repro.experiments import fig1
+
+
+@pytest.fixture(scope="module")
+def report():
+    return fig1.run(workloads=("raytrace",), profiles=("pristine", "heavy"),
+                    seeds=(1, 2))
+
+
+class TestFig1:
+    def test_rows_per_profile_and_seed(self, report):
+        labels = [row[0] for row in report.table]
+        assert "raytrace/pristine/s1" in labels
+        assert "raytrace/heavy/s1" in labels and "raytrace/heavy/s2" in labels
+
+    def test_cdf_monotone_per_row(self, report):
+        for row in report.table:
+            values = [float(v) for v in row[1:]]
+            assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+            assert 0.0 <= values[0] and values[-1] <= 1.0
+
+    def test_pressure_shifts_cdf_left(self, report):
+        """Heavier fragmentation => more pages in small chunks."""
+        pristine = report.row_for("raytrace/pristine/s1")
+        heavy = report.row_for("raytrace/heavy/s1")
+        at_16_pages = report.headers.index("16")
+        assert heavy[at_16_pages] >= pristine[at_16_pages]
+
+    def test_spread_is_nontrivial(self, report):
+        """The paper's point: contiguity varies a lot run to run."""
+        assert max(
+            fig1.spread_at(report, point) for point in fig1.CHUNK_AXIS
+        ) > 0.1

@@ -1,0 +1,80 @@
+"""Direct tests for the figure drivers not covered by test_reports."""
+
+import pytest
+
+from repro.experiments import fig7, fig8, fig10, fig11
+from repro.experiments.common import ExperimentConfig, MatrixRunner
+
+WORKLOADS = ("sphinx3", "omnetpp")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return MatrixRunner(ExperimentConfig(references=2000, seed=6,
+                                         ideal_subsample=8))
+
+
+class TestFig7And8:
+    def test_fig7_structure(self, runner):
+        report = fig7.run(runner=runner, include_ideal=False,
+                          workloads=WORKLOADS)
+        assert report.table[-1][0] == "mean"
+        assert len(report.table) == len(WORKLOADS) + 1
+        base = report.column("base")
+        assert all(v == pytest.approx(100.0) for v in base)
+
+    def test_fig8_anchor_at_most_base(self, runner):
+        report = fig8.run(runner=runner, include_ideal=False,
+                          workloads=WORKLOADS)
+        headers = list(report.headers)
+        for row in report.table:
+            assert row[headers.index("anchor-dyn")] <= 100.0 + 1e-9
+
+    def test_fig7_and_fig8_share_runner_cache(self, runner):
+        before = len(runner._results)
+        fig7.run(runner=runner, include_ideal=False, workloads=WORKLOADS)
+        mid = len(runner._results)
+        fig7.run(runner=runner, include_ideal=False, workloads=WORKLOADS)
+        assert len(runner._results) == mid
+        assert mid >= before
+
+
+class TestFig10And11:
+    def test_fig10_row_per_workload_scheme(self, runner):
+        report = fig10.run(runner=runner, include_ideal=False,
+                           workloads=WORKLOADS, scenario="medium")
+        schemes = {row[1] for row in report.table}
+        assert "base" in schemes and "anchor-dyn" in schemes
+        assert len(report.table) == len(WORKLOADS) * len(schemes)
+
+    def test_fig11_title_and_scenario(self, runner):
+        report = fig11.run(runner=runner, include_ideal=False,
+                           workloads=("sphinx3",))
+        assert "Fig.11" in report.title
+        assert "medium" in report.title
+
+    def test_total_cpi_helper(self, runner):
+        report = fig10.run(runner=runner, include_ideal=False,
+                           workloads=("sphinx3",), scenario="medium")
+        value = fig10.total_cpi(report, "sphinx3", "base")
+        assert value > 0
+        with pytest.raises(KeyError):
+            fig10.total_cpi(report, "sphinx3", "nope")
+
+
+class TestCLITraceAndPlots:
+    def test_trace_command_saves(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        out_path = tmp_path / "t.npz"
+        assert main(["trace", "--workload", "sphinx3",
+                     "--references", "2000", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        assert "sphinx3" in capsys.readouterr().out
+
+    def test_fig10_plot_renders_stacked_bars(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["fig10", "--references", "1200", "--no-ideal",
+                     "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "|" in out

@@ -1,0 +1,41 @@
+"""Tests for the headline-claim checker."""
+
+import pytest
+
+from repro.experiments import headline
+from repro.experiments.common import ExperimentConfig, MatrixRunner
+
+
+@pytest.fixture(scope="module")
+def report():
+    runner = MatrixRunner(ExperimentConfig(references=5000, seed=7))
+    return headline.run(
+        runner=runner, workloads=("sphinx3", "omnetpp", "milc", "gups")
+    )
+
+
+class TestHeadline:
+    def test_one_row_per_scenario(self, report):
+        assert [row[0] for row in report.table] == [
+            "demand", "eager", "low", "medium", "high", "max"
+        ]
+
+    def test_verdicts_are_pass_fail(self, report):
+        assert {row[4] for row in report.table} <= {"PASS", "FAIL"}
+
+    def test_best_prior_is_a_prior(self, report):
+        for row in report.table:
+            assert row[1] in headline.PRIORS
+
+    def test_claim_holds_on_this_subset(self, report):
+        # Four representative workloads: the abstract's claim holds.
+        assert headline.holds(report), report.render()
+
+    def test_note_counts_passes(self, report):
+        passes = sum(1 for row in report.table if row[4] == "PASS")
+        assert f"{passes}/6" in report.notes[0]
+
+    def test_cli_entry(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["headline", "--references", "1200"]) == 0
+        assert "Headline" in capsys.readouterr().out

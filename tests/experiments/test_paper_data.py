@@ -1,0 +1,56 @@
+"""Sanity checks on the transcribed paper reference data."""
+
+import pytest
+
+from repro.experiments.paper_data import (
+    PAPER_DISTANCE_CHANGE_FOOTPRINT_PAGES,
+    PAPER_DISTANCE_CHANGE_MS,
+    PAPER_MEAN_REDUCTION,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+)
+from repro.params import ANCHOR_DISTANCES
+from repro.sim.workloads import WORKLOAD_ORDER
+
+
+class TestTable6Transcription:
+    def test_covers_all_figure_workloads(self):
+        assert set(PAPER_TABLE6) == set(WORKLOAD_ORDER)
+
+    def test_all_six_scenarios_per_workload(self):
+        for workload, row in PAPER_TABLE6.items():
+            assert set(row) == {"demand", "eager", "low", "medium",
+                                "high", "max"}, workload
+
+    def test_distances_are_valid_candidates(self):
+        for row in PAPER_TABLE6.values():
+            for distance in row.values():
+                assert distance in ANCHOR_DISTANCES
+
+    def test_low_is_four_everywhere(self):
+        assert all(row["low"] == 4 for row in PAPER_TABLE6.values())
+
+
+class TestTable5Transcription:
+    def test_covers_all_figure_workloads(self):
+        assert set(PAPER_TABLE5) == set(WORKLOAD_ORDER)
+
+    def test_shares_sum_to_about_100(self):
+        for workload, row in PAPER_TABLE5.items():
+            for scenario, shares in row.items():
+                assert sum(shares) == pytest.approx(100, abs=2), (
+                    workload, scenario
+                )
+
+
+class TestOtherConstants:
+    def test_reductions_are_percentages(self):
+        for scenario in PAPER_MEAN_REDUCTION.values():
+            for value in scenario.values():
+                assert 0 < value < 100
+
+    def test_distance_change_points(self):
+        assert PAPER_DISTANCE_CHANGE_MS[8] > PAPER_DISTANCE_CHANGE_MS[64]
+        assert PAPER_DISTANCE_CHANGE_MS[64] > PAPER_DISTANCE_CHANGE_MS[512]
+        # 30 GiB of 4 KiB pages.
+        assert PAPER_DISTANCE_CHANGE_FOOTPRINT_PAGES == 30 * 262_144

@@ -1,0 +1,87 @@
+"""Tests for the Report container and figure drivers (small configs)."""
+
+import pytest
+
+from repro.experiments import fig2, fig9, fig10, table5, table6
+from repro.experiments.common import ExperimentConfig, MatrixRunner
+from repro.experiments.report import Report
+
+WORKLOADS = ("sphinx3", "omnetpp")
+SCENARIOS = ("medium", "max")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return MatrixRunner(ExperimentConfig(references=2500, seed=3,
+                                         ideal_subsample=8))
+
+
+class TestReport:
+    def test_render_contains_rows(self):
+        report = Report("T", ["a", "b"], [["x", 1.0]])
+        text = report.render()
+        assert "T" in text and "x" in text
+
+    def test_row_for_and_column(self):
+        report = Report("T", ["k", "v"], [["x", 1.0], ["y", 2.0]])
+        assert report.row_for("y") == ["y", 2.0]
+        assert report.column("v") == [1.0, 2.0]
+        with pytest.raises(KeyError):
+            report.row_for("z")
+
+    def test_notes_rendered(self):
+        report = Report("T", ["a"], [[1]], notes=["hello"])
+        assert "hello" in report.render()
+
+
+class TestFigureDrivers:
+    def test_fig2_shape(self, runner):
+        report = fig2.run(runner=runner, workloads=WORKLOADS)
+        assert [row[0] for row in report.table] == ["small", "medium", "large"]
+        base = report.column("base")
+        assert all(v == pytest.approx(100.0) for v in base)
+
+    def test_fig9_rows_are_scenarios(self, runner):
+        report = fig9.run(runner=runner, include_ideal=False,
+                          workloads=WORKLOADS, scenarios=SCENARIOS)
+        assert [row[0] for row in report.table] == list(SCENARIOS)
+
+    def test_fig10_cpi_totals_consistent(self, runner):
+        report = fig10.run(runner=runner, include_ideal=False,
+                           workloads=("sphinx3",), scenario="medium")
+        for row in report.table:
+            assert row[5] == pytest.approx(row[2] + row[3] + row[4])
+
+    def test_table5_shares_sum_to_100(self, runner):
+        report = table5.run(runner=runner, workloads=WORKLOADS)
+        for row in report.table:
+            assert row[1] + row[2] + row[3] == pytest.approx(100.0, abs=0.5)
+            assert row[4] + row[5] + row[6] == pytest.approx(100.0, abs=0.5)
+
+    def test_table6_format(self, runner):
+        report = table6.run(runner=runner, workloads=WORKLOADS,
+                            scenarios=("low", "medium"))
+        for row in report.table:
+            for cell in row[1:]:
+                assert "/" in str(cell)
+
+    def test_table6_low_selects_4(self, runner):
+        distances = table6.selected_distances(runner, "low",
+                                              workloads=WORKLOADS)
+        assert all(d == 4 for d in distances.values())
+
+
+class TestReportSerialisation:
+    def test_to_dict_rows_keyed_by_headers(self):
+        report = Report("T", ["k", "v"], [["x", 1.0]], notes=["n"])
+        data = report.to_dict()
+        assert data["rows"] == [{"k": "x", "v": 1.0}]
+        assert data["notes"] == ["n"]
+        assert data["title"] == "T"
+
+    def test_to_json_roundtrip(self):
+        import json
+
+        report = Report("T", ["k", "v"], [["x", 1.5], ["y", 2.5]])
+        data = json.loads(report.to_json())
+        assert data["rows"][1]["v"] == 2.5

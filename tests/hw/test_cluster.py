@@ -1,0 +1,104 @@
+"""Tests for cluster-8 and CoLT coalescing logic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.cluster import (
+    ClusterTLB,
+    build_cluster_entry,
+    build_colt_entry,
+)
+from repro.params import CLUSTER_CLUSTERED
+
+
+class TestBuildClusterEntry:
+    def test_full_cluster(self):
+        # 8 aligned pages mapping into one aligned physical cluster.
+        small = {vpn: 800 + vpn for vpn in range(16, 24)}
+        entry = build_cluster_entry(small, 18)
+        assert entry.coverage == 8
+        for vpn in range(16, 24):
+            assert entry.translate(vpn) == 800 + vpn
+
+    def test_permuted_within_cluster(self):
+        # Pages scrambled inside one physical cluster still coalesce.
+        small = {16 + i: 800 + (7 - i) for i in range(8)}
+        entry = build_cluster_entry(small, 16)
+        assert entry.coverage == 8
+        assert entry.translate(16) == 807
+        assert entry.translate(23) == 800
+
+    def test_pages_outside_physical_cluster_excluded(self):
+        small = {16: 800, 17: 801, 18: 4000, 19: 803}
+        entry = build_cluster_entry(small, 16)
+        assert entry.coverage == 3
+        assert entry.translate(18) is None
+        assert entry.translate(19) == 803
+
+    def test_holes_excluded(self):
+        small = {16: 800, 19: 803}
+        entry = build_cluster_entry(small, 16)
+        assert entry.coverage == 2
+        assert entry.translate(17) is None
+
+    def test_singleton(self):
+        small = {21: 4093}
+        entry = build_cluster_entry(small, 21)
+        assert entry.coverage == 1
+
+    @given(st.dictionaries(st.integers(0, 7), st.integers(0, 63),
+                           min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_property_translations_match_map(self, layout):
+        small = {32 + slot: 256 + pfn for slot, pfn in layout.items()}
+        anchor_vpn = sorted(small)[0]
+        entry = build_cluster_entry(small, anchor_vpn)
+        for vpn in range(32, 40):
+            translated = entry.translate(vpn)
+            if translated is not None:
+                assert small[vpn] == translated
+
+
+class TestBuildColtEntry:
+    def test_full_line_run(self):
+        small = {vpn: 800 + vpn for vpn in range(16, 24)}
+        entry = build_colt_entry(small, 20)
+        assert (entry.start_vpn, entry.pages) == (16, 8)
+        assert entry.translate(23) == 823
+
+    def test_run_confined_to_cache_line(self):
+        small = {vpn: 800 + vpn for vpn in range(12, 28)}
+        entry = build_colt_entry(small, 17)
+        assert entry.start_vpn == 16
+        assert entry.pages == 8
+
+    def test_partial_run(self):
+        small = {16: 100, 17: 101, 18: 500, 19: 501}
+        entry = build_colt_entry(small, 16)
+        assert entry.pages == 2
+        assert entry.translate(18) is None
+
+    def test_singleton_run(self):
+        small = {18: 4000}
+        entry = build_colt_entry(small, 18)
+        assert entry.pages == 1
+
+
+class TestClusterTLBStructure:
+    def test_lookup_hit_and_miss(self):
+        tlb = ClusterTLB(CLUSTER_CLUSTERED)
+        small = {vpn: 800 + vpn for vpn in range(16, 24)}
+        tlb.insert(build_cluster_entry(small, 16))
+        assert tlb.lookup(20) == 820
+        assert tlb.lookup(24) is None  # different cluster
+
+    def test_uncovered_slot_misses(self):
+        tlb = ClusterTLB(CLUSTER_CLUSTERED)
+        tlb.insert(build_cluster_entry({16: 800, 17: 801}, 16))
+        assert tlb.lookup(18) is None
+
+    def test_flush(self):
+        tlb = ClusterTLB(CLUSTER_CLUSTERED)
+        tlb.insert(build_cluster_entry({16: 800}, 16))
+        tlb.flush()
+        assert tlb.lookup(16) is None

@@ -1,0 +1,41 @@
+"""Tests for the split L1 TLB."""
+
+from repro.hw.l1 import L1TLB
+from repro.params import DEFAULT_MACHINE
+
+
+class TestL1:
+    def test_small_fill_and_lookup(self):
+        l1 = L1TLB(DEFAULT_MACHINE)
+        assert l1.lookup_small(100) is None
+        l1.fill_small(100, 7)
+        assert l1.lookup_small(100) == 7
+
+    def test_huge_side_independent(self):
+        l1 = L1TLB(DEFAULT_MACHINE)
+        l1.fill_small(100, 7)
+        assert l1.lookup_huge(100) is None
+        l1.fill_huge(100, 512)
+        assert l1.lookup_huge(100) == 512
+        assert l1.lookup_small(100) == 7
+
+    def test_geometry_matches_table3(self):
+        l1 = L1TLB(DEFAULT_MACHINE)
+        assert l1.small.entries == 64 and l1.small.ways == 4
+        assert l1.huge.entries == 32 and l1.huge.ways == 4
+
+    def test_capacity_eviction(self):
+        l1 = L1TLB(DEFAULT_MACHINE)
+        # 16 sets x 4 ways on the small side: overfill one set.
+        for i in range(5):
+            l1.fill_small(i * 16, i)
+        assert l1.lookup_small(0) is None  # LRU victim
+        assert l1.lookup_small(64) == 4
+
+    def test_flush(self):
+        l1 = L1TLB(DEFAULT_MACHINE)
+        l1.fill_small(1, 1)
+        l1.fill_huge(1, 1)
+        l1.flush()
+        assert l1.lookup_small(1) is None
+        assert l1.lookup_huge(1) is None

@@ -1,0 +1,95 @@
+"""Tests for the page-walk caches (MMU caches)."""
+
+import pytest
+
+from repro.hw.pwc import PageWalkCache, PWCGeometry
+
+
+class TestPWC:
+    def test_cold_walk_costs_four_accesses(self):
+        pwc = PageWalkCache()
+        assert pwc.accesses_for(0x12345) == 4
+
+    def test_cold_huge_walk_costs_three(self):
+        pwc = PageWalkCache()
+        assert pwc.accesses_for(0x12345, huge=True) == 3
+
+    def test_repeat_walk_hits_pd_cache(self):
+        pwc = PageWalkCache()
+        pwc.accesses_for(0x1000)
+        assert pwc.accesses_for(0x1001) == 1  # same PT page
+
+    def test_neighbouring_pd_hits_pdpt(self):
+        pwc = PageWalkCache()
+        pwc.accesses_for(0)
+        # Same 1 GiB region, different 2 MiB window: PDPT hit.
+        assert pwc.accesses_for(1 << 9) == 2
+
+    def test_neighbouring_pdpt_hits_pml4(self):
+        pwc = PageWalkCache()
+        pwc.accesses_for(0)
+        assert pwc.accesses_for(1 << 18) == 3
+
+    def test_huge_walk_with_pdpt_hit(self):
+        pwc = PageWalkCache()
+        pwc.accesses_for(0)
+        assert pwc.accesses_for(1 << 9, huge=True) == 1
+
+    def test_huge_walk_never_uses_pd_cache(self):
+        pwc = PageWalkCache()
+        pwc.accesses_for(0)  # fills the PD cache for window 0
+        # A huge walk in the same window must still read the PD leaf.
+        assert pwc.accesses_for(5, huge=True) == 1  # via PDPT, not PD
+
+    def test_capacity_eviction(self):
+        pwc = PageWalkCache(PWCGeometry(pd_entries=2, pdpt_entries=1,
+                                        pml4_entries=1))
+        pwc.accesses_for(0 << 9)
+        pwc.accesses_for(1 << 9)
+        pwc.accesses_for(2 << 9)   # evicts PD entry for window 0
+        assert pwc.accesses_for(0) > 1
+
+    def test_hit_rate(self):
+        pwc = PageWalkCache()
+        assert pwc.hit_rate == 0.0
+        pwc.accesses_for(0)
+        pwc.accesses_for(1)
+        assert pwc.hit_rate == pytest.approx(0.5)
+
+    def test_flush(self):
+        pwc = PageWalkCache()
+        pwc.accesses_for(0)
+        pwc.flush()
+        assert pwc.accesses_for(1) == 4
+
+
+class TestPWCInSchemes:
+    def test_disabled_by_default(self, contiguous_mapping):
+        from repro.schemes.baseline import BaselineScheme
+        scheme = BaselineScheme(contiguous_mapping)
+        assert scheme.pwc is None
+        assert scheme.access(0x1000) == 50
+        assert scheme.stats.walk_pt_accesses == 0
+
+    def test_enabled_reduces_walk_cost(self, contiguous_mapping):
+        from repro.params import MachineConfig
+        from repro.schemes.baseline import BaselineScheme
+        config = MachineConfig(pwc=True)
+        scheme = BaselineScheme(contiguous_mapping, config)
+        first = scheme.access(0x1000)     # cold: 4 accesses
+        second = scheme.access(0x1001)    # PD cached: 1 access
+        assert first == 4 * config.latency.walk_step
+        assert second == 1 * config.latency.walk_step
+        assert scheme.stats.walk_pt_accesses == 5
+        assert scheme.stats.cycles_walk == 5 * config.latency.walk_step
+
+    def test_translation_unaffected(self, medium_mapping):
+        from repro.params import MachineConfig
+        from repro.schemes import make_scheme, scheme_names
+        config = MachineConfig(pwc=True)
+        for name in scheme_names(include_extras=True):
+            scheme = make_scheme(name, medium_mapping, config)
+            for vpn, pfn in list(medium_mapping.items())[::17]:
+                scheme.access(vpn)
+                assert scheme.translate(vpn) == pfn
+            scheme.stats.check_conservation()

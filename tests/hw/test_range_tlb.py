@@ -1,0 +1,79 @@
+"""Tests for the RMM range table and range TLB."""
+
+import pytest
+
+from repro.hw.range_tlb import RangeEntry, RangeTable, RangeTLB
+from repro.mem.frames import FrameRange
+from repro.vmos.mapping import MemoryMapping
+
+
+@pytest.fixture
+def mapping():
+    m = MemoryMapping()
+    m.map_run(0, FrameRange(1000, 16))
+    m.map_run(32, FrameRange(5000, 64))
+    m.map_run(200, FrameRange(9000, 8))
+    return m
+
+
+class TestRangeEntry:
+    def test_translate(self):
+        entry = RangeEntry(10, 5, 100)
+        assert entry.translate(12) == 102
+        assert entry.translate(9) is None
+        assert entry.translate(15) is None
+
+
+class TestRangeTable:
+    def test_built_from_chunks(self, mapping):
+        table = RangeTable(mapping)
+        assert len(table) == 3
+
+    def test_find(self, mapping):
+        table = RangeTable(mapping)
+        assert table.find(40).base_pfn == 5000
+        assert table.find(0).base_pfn == 1000
+        assert table.find(31) is None
+        assert table.find(16) is None
+        assert table.find(207).translate(207) == 9007
+
+    def test_find_before_first(self, mapping):
+        table = RangeTable(MemoryMapping())
+        assert table.find(5) is None
+
+
+class TestRangeTLB:
+    def test_hit_and_miss(self):
+        tlb = RangeTLB(capacity=4)
+        tlb.insert(RangeEntry(0, 16, 1000))
+        assert tlb.lookup(7) == 1007
+        assert tlb.lookup(16) is None
+
+    def test_lru_over_ranges(self):
+        tlb = RangeTLB(capacity=2)
+        tlb.insert(RangeEntry(0, 4, 100))
+        tlb.insert(RangeEntry(10, 4, 200))
+        tlb.lookup(1)                       # range@0 is MRU
+        tlb.insert(RangeEntry(20, 4, 300))  # evicts range@10
+        assert tlb.lookup(11) is None
+        assert tlb.lookup(1) == 101
+        assert tlb.lookup(21) == 301
+
+    def test_reinsert_same_range(self):
+        tlb = RangeTLB(capacity=2)
+        tlb.insert(RangeEntry(0, 4, 100))
+        tlb.insert(RangeEntry(0, 4, 100))
+        assert tlb.occupancy == 1
+
+    def test_default_capacity_is_32(self):
+        assert RangeTLB().capacity == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangeTLB(capacity=0)
+
+    def test_flush(self):
+        tlb = RangeTLB()
+        tlb.insert(RangeEntry(0, 4, 100))
+        tlb.flush()
+        assert tlb.occupancy == 0

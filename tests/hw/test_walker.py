@@ -1,0 +1,59 @@
+"""Tests for the page walker over a coverage plan."""
+
+import pytest
+
+from repro.errors import PageFaultError
+from repro.hw.walker import PageWalker
+from repro.mem.frames import FrameRange
+from repro.vmos.anchor import AnchorDirectory
+from repro.vmos.mapping import MemoryMapping
+
+
+@pytest.fixture
+def directory():
+    mapping = MemoryMapping()
+    mapping.map_run(0, FrameRange(10_000, 64))       # anchored small run
+    mapping.map_run(512, FrameRange(2048, 512))      # 2 MiB promotable
+    return AnchorDirectory.build(mapping, 16)
+
+
+class TestWalker:
+    def test_small_walk(self, directory):
+        walker = PageWalker(directory)
+        outcome = walker.walk(5)
+        assert outcome.pfn == 10_005
+        assert not outcome.huge
+        assert outcome.memory_accesses == 4
+        assert walker.walks == 1
+
+    def test_huge_walk(self, directory):
+        outcome = PageWalker(directory).walk(700)
+        assert outcome.huge
+        assert outcome.pfn == 2048 + (700 - 512)
+        assert outcome.leaf_vpn == 512
+        assert outcome.memory_accesses == 3
+
+    def test_fetch_anchor(self, directory):
+        outcome = PageWalker(directory).walk(21, fetch_anchor=True)
+        assert outcome.anchor_vpn == 16
+        assert outcome.anchor_pfn == 10_016
+        assert outcome.anchor_contiguity == 48
+
+    def test_fetch_anchor_absent(self, directory):
+        # vpn 5's anchor (0) exists; use a mapping without an anchored
+        # leaf by walking the huge region: anchor fields are empty.
+        outcome = PageWalker(directory).walk(700, fetch_anchor=True)
+        assert outcome.anchor_vpn is None
+
+    def test_unmapped_faults(self, directory):
+        with pytest.raises(PageFaultError):
+            PageWalker(directory).walk(4096)
+
+    def test_radix_backend(self, directory):
+        table = directory.populate_page_table()
+        walker = PageWalker(directory, table)
+        assert walker.walk_radix(5).pfn == 10_005
+
+    def test_radix_backend_missing(self, directory):
+        with pytest.raises(ValueError):
+            PageWalker(directory).walk_radix(5)

@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The heavyweight examples (scheme_shootout, numa_finegrain) are exercised
+with reduced parameters by monkeypatching their knobs; quickstart takes
+its size on the command line.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(monkeypatch, capsys, name: str, argv: list[str] | None = None):
+    monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py", ["3000"])
+        assert "anchor-dyn" in out
+        assert "relative %" in out
+
+    def test_fragmented_heap(self, monkeypatch, capsys):
+        import repro.sim.workloads as workloads
+
+        original = workloads.Workload.make_trace
+
+        def small_trace(self, references, seed=None):
+            return original(self, min(references, 5000), seed)
+
+        monkeypatch.setattr(workloads.Workload, "make_trace", small_trace)
+        out = run_example(monkeypatch, capsys, "fragmented_heap.py")
+        assert "selected anchor distance" in out
+        assert "Algorithm 1 cost table" in out
+
+    def test_os_dynamics(self, monkeypatch, capsys):
+        # The example sizes itself; it completes in a few seconds.
+        out = run_example(monkeypatch, capsys, "os_dynamics.py")
+        assert "khugepaged" in out
+        assert "adaptation timeline" in out

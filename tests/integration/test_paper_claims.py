@@ -1,0 +1,72 @@
+"""Integration tests pinning the paper's headline qualitative claims.
+
+These use reduced trace lengths, so they assert *shape* (who wins,
+ordering, rough magnitudes), not exact percentages.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, MatrixRunner
+
+WORKLOADS = ("gups", "milc", "sphinx3", "omnetpp")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return MatrixRunner(ExperimentConfig(references=6000, seed=7))
+
+
+def mean_relative(runner, scenario, scheme):
+    values = [
+        runner.relative_misses(w, scenario, scheme) for w in WORKLOADS
+    ]
+    return sum(values) / len(values)
+
+
+class TestHeadlineClaims:
+    def test_anchor_at_least_matches_best_prior_per_scenario(self, runner):
+        """Paper abstract: best performance consistently across scenarios."""
+        priors = ("thp", "cluster", "cluster2mb", "rmm")
+        for scenario in ("demand", "eager", "low", "medium", "high", "max"):
+            anchor = mean_relative(runner, scenario, "anchor-dyn")
+            best_prior = min(mean_relative(runner, scenario, p) for p in priors)
+            assert anchor <= best_prior + 5.0, scenario
+
+    def test_thp_ineffective_below_2mb_chunks(self, runner):
+        """Fig. 8: medium contiguity gives THP nothing to promote."""
+        assert mean_relative(runner, "medium", "thp") > 95.0
+        assert mean_relative(runner, "low", "thp") > 95.0
+
+    def test_rmm_eliminates_misses_at_max_contiguity(self, runner):
+        assert mean_relative(runner, "max", "rmm") < 20.0
+
+    def test_cluster_benefit_flat_across_contiguity(self, runner):
+        """Fig. 2: cluster gains do not scale with chunk size."""
+        medium = mean_relative(runner, "medium", "cluster")
+        high = mean_relative(runner, "high", "cluster")
+        assert abs(medium - high) < 25.0
+
+    def test_anchor_scales_with_contiguity(self, runner):
+        low = mean_relative(runner, "low", "anchor-dyn")
+        medium = mean_relative(runner, "medium", "anchor-dyn")
+        high = mean_relative(runner, "high", "anchor-dyn")
+        assert high < medium < low
+
+    def test_gups_medium_is_the_worst_case(self, runner):
+        """§5.2.1: even for gups the anchor scheme still reduces misses."""
+        relative = runner.relative_misses("gups", "medium", "anchor-dyn")
+        assert 60.0 < relative < 100.0
+
+
+class TestTable5Shape:
+    def test_anchor_hits_dominate_medium_milc(self, runner):
+        """Paper Table 5: milc/medium resolves ~92% of L2 accesses via
+        anchors."""
+        result = runner.run("milc", "medium", "anchor-dyn")
+        _, anchor_share, _ = result.stats.l2_breakdown()
+        assert anchor_share > 0.5
+
+    def test_gups_medium_mostly_misses(self, runner):
+        result = runner.run("gups", "medium", "anchor-dyn")
+        _, _, miss_share = result.stats.l2_breakdown()
+        assert miss_share > 0.5

@@ -1,0 +1,257 @@
+"""Unit and property tests for the buddy allocator.
+
+The property tests drive random alloc/free sequences and assert the
+DESIGN.md invariants: natural alignment, no overlap, frame conservation,
+and full coalescing after everything is freed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfMemoryError, ReproError
+from repro.mem.buddy import BuddyAllocator, aligned_decompose
+from repro.mem.frames import FrameRange
+from repro.util.rng import make_rng
+
+
+class TestAlignedDecompose:
+    def test_exact_block(self):
+        assert aligned_decompose(0, 8, 10) == [(0, 3)]
+
+    def test_unaligned_start(self):
+        blocks = aligned_decompose(3, 8, 10)
+        assert blocks == [(3, 0), (4, 2)]
+
+    def test_covers_exactly(self):
+        for start, end in [(0, 7), (5, 21), (1, 2), (13, 64)]:
+            blocks = aligned_decompose(start, end, 12)
+            covered = sorted(
+                f for s, o in blocks for f in range(s, s + (1 << o))
+            )
+            assert covered == list(range(start, end))
+
+    @given(st.integers(0, 500), st.integers(1, 300))
+    def test_property_alignment_and_coverage(self, start, length):
+        blocks = aligned_decompose(start, start + length, 20)
+        total = 0
+        for s, o in blocks:
+            assert s % (1 << o) == 0
+            total += 1 << o
+        assert total == length
+
+
+class TestBuddyBasics:
+    def test_initial_state(self):
+        b = BuddyAllocator(64)
+        assert b.free_frames == 64
+        assert b.allocated_frames == 0
+        assert b.largest_free_order() == 6
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(100)
+
+    def test_alloc_smallest(self):
+        b = BuddyAllocator(16)
+        block = b.alloc_order(0)
+        assert block.count == 1
+        assert b.free_frames == 15
+
+    def test_alloc_aligned(self):
+        b = BuddyAllocator(256)
+        for order in (0, 1, 3, 4):
+            block = b.alloc_order(order)
+            assert block.start % block.count == 0
+
+    def test_alloc_whole_memory(self):
+        b = BuddyAllocator(32)
+        block = b.alloc_order(5)
+        assert block == FrameRange(0, 32)
+        with pytest.raises(OutOfMemoryError):
+            b.alloc_order(0)
+
+    def test_alloc_order_out_of_range(self):
+        b = BuddyAllocator(16)
+        with pytest.raises(ValueError):
+            b.alloc_order(5)
+        with pytest.raises(ValueError):
+            b.alloc_order(-1)
+
+    def test_free_restores(self):
+        b = BuddyAllocator(64)
+        block = b.alloc_order(3)
+        b.free(block)
+        assert b.free_frames == 64
+        assert b.largest_free_order() == 6
+
+    def test_free_coalesces_buddies(self):
+        b = BuddyAllocator(8)
+        blocks = [b.alloc_order(0) for _ in range(8)]
+        for block in blocks:
+            b.free(block)
+        assert b.largest_free_order() == 3
+
+    def test_double_free_rejected(self):
+        b = BuddyAllocator(16)
+        block = b.alloc_order(1)
+        b.free(block)
+        with pytest.raises(ReproError):
+            b.free(block)
+
+    def test_free_wrong_size_rejected(self):
+        b = BuddyAllocator(16)
+        b.alloc_order(2)
+        with pytest.raises(ReproError):
+            b.free(FrameRange(0, 2))
+
+    def test_split_produces_disjoint_blocks(self):
+        b = BuddyAllocator(16)
+        blocks = [b.alloc_order(0) for _ in range(16)]
+        starts = {blk.start for blk in blocks}
+        assert len(starts) == 16
+
+
+class TestAllocPages:
+    def test_exact_power(self):
+        b = BuddyAllocator(64)
+        ranges = b.alloc_pages(16)
+        assert sum(r.count for r in ranges) == 16
+        assert len(ranges) == 1
+
+    def test_non_power(self):
+        b = BuddyAllocator(64)
+        ranges = b.alloc_pages(13)
+        assert sum(r.count for r in ranges) == 13
+        assert b.free_frames == 51
+        b.check_invariants()
+
+    def test_kept_prefix_contiguous(self):
+        b = BuddyAllocator(64)
+        ranges = b.alloc_pages(13)
+        flat = sorted(f for r in ranges for f in range(r.start, r.end))
+        assert flat == list(range(flat[0], flat[0] + 13))
+
+    def test_fragmented_fallback(self):
+        b = BuddyAllocator(32)
+        # Fill memory with pairs, then free alternating pairs: the free
+        # space is eight 2-frame holes, so 8 pages cannot be one block.
+        pins = [b.alloc_order(1) for _ in range(16)]
+        for pin in pins[::2]:
+            b.free(pin)
+        ranges = b.alloc_pages(8)
+        assert sum(r.count for r in ranges) == 8
+        assert len(ranges) > 1
+        b.check_invariants()
+
+    def test_oom_rolls_back(self):
+        b = BuddyAllocator(16)
+        b.alloc_order(3)
+        before = b.free_frames
+        with pytest.raises(OutOfMemoryError):
+            b.alloc_pages(12)
+        assert b.free_frames == before
+        b.check_invariants()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(16).alloc_pages(0)
+
+
+class TestExactRun:
+    def test_basic(self):
+        b = BuddyAllocator(64)
+        run = b.alloc_exact_run(12)
+        assert run is not None and run.count == 12
+        b.check_invariants()
+
+    def test_free_run_roundtrip(self):
+        b = BuddyAllocator(64)
+        run = b.alloc_exact_run(12)
+        b.free_run(run)
+        assert b.free_frames == 64
+        assert b.largest_free_order() == 6
+
+    def test_too_large_returns_none(self):
+        b = BuddyAllocator(16)
+        assert b.alloc_exact_run(32) is None
+
+    def test_unavailable_returns_none(self):
+        b = BuddyAllocator(16)
+        b.alloc_order(4)
+        assert b.alloc_exact_run(3) is None
+
+
+class TestFragmentation:
+    def test_fragment_reduces_largest_order(self):
+        rng = make_rng(3)
+        b = BuddyAllocator(1 << 12)
+        held = b.fragment(rng, 0.5, (0, 3))
+        assert held  # background blocks survive
+        assert b.largest_free_order() < 12
+        b.check_invariants()
+
+    def test_fragment_zero_is_noop(self):
+        b = BuddyAllocator(256)
+        assert b.fragment(make_rng(1), 0.0) == []
+        assert b.free_frames == 256
+
+    def test_fragment_validation(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(256).fragment(make_rng(1), 1.5)
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A random interleaving of allocations and frees."""
+    return draw(st.lists(st.tuples(st.booleans(), st.integers(0, 4)),
+                         min_size=1, max_size=60))
+
+
+class TestBuddyProperties:
+    @given(alloc_free_script())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_under_random_script(self, script):
+        b = BuddyAllocator(1 << 10)
+        live = []
+        for is_alloc, order in script:
+            if is_alloc or not live:
+                try:
+                    live.append(b.alloc_order(order))
+                except OutOfMemoryError:
+                    pass
+            else:
+                b.free(live.pop(order % len(live)))
+        b.check_invariants()
+        assert b.free_frames + b.allocated_frames == 1 << 10
+
+    @given(alloc_free_script())
+    @settings(max_examples=40, deadline=None)
+    def test_free_all_restores_max_order(self, script):
+        b = BuddyAllocator(1 << 10)
+        live = []
+        for is_alloc, order in script:
+            if is_alloc or not live:
+                try:
+                    live.append(b.alloc_order(order))
+                except OutOfMemoryError:
+                    pass
+            else:
+                b.free(live.pop(order % len(live)))
+        for block in live:
+            b.free(block)
+        assert b.free_frames == 1 << 10
+        assert b.largest_free_order() == 10
+
+    @given(st.lists(st.integers(1, 40), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_alloc_pages_counts(self, requests):
+        b = BuddyAllocator(1 << 10)
+        total = 0
+        for count in requests:
+            if total + count > 1 << 10:
+                break
+            got = b.alloc_pages(count)
+            assert sum(r.count for r in got) == count
+            total += count
+        b.check_invariants()

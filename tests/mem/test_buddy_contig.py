@@ -1,0 +1,117 @@
+"""Tests for the alloc_contig_range-style buddy primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfMemoryError, ReproError
+from repro.mem.buddy import BuddyAllocator
+
+
+class TestReserveFreeInRange:
+    def test_reserves_all_free_frames(self):
+        buddy = BuddyAllocator(64)
+        claimed = buddy.reserve_free_in_range(8, 24)
+        assert sum(r.count for r in claimed) == 16
+        assert buddy.free_frames == 48
+        buddy.check_invariants()
+
+    def test_skips_allocated_frames(self):
+        buddy = BuddyAllocator(64)
+        held = buddy.alloc_order(3)  # [0, 8)
+        claimed = buddy.reserve_free_in_range(0, 16)
+        assert sum(r.count for r in claimed) == 8
+        assert all(r.start >= 8 for r in claimed)
+        buddy.free(held)
+        buddy.check_invariants()
+
+    def test_splits_spanning_blocks(self):
+        buddy = BuddyAllocator(64)  # one order-6 block
+        buddy.reserve_free_in_range(20, 28)
+        # Frames outside stay free; an order-0 alloc must come from
+        # outside the reserved window (min-start picks frame 0).
+        block = buddy.alloc_order(0)
+        assert not 20 <= block.start < 28
+        buddy.check_invariants()
+
+    def test_range_validation(self):
+        buddy = BuddyAllocator(64)
+        with pytest.raises(ValueError):
+            buddy.reserve_free_in_range(10, 10)
+        with pytest.raises(ValueError):
+            buddy.reserve_free_in_range(-1, 8)
+        with pytest.raises(ValueError):
+            buddy.reserve_free_in_range(0, 128)
+
+    @given(st.integers(0, 56), st.integers(1, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_property_invariants_hold(self, start, length):
+        end = min(start + length, 64)
+        buddy = BuddyAllocator(64)
+        pins = [buddy.alloc_order(0) for _ in range(10)]
+        for pin in pins[::2]:
+            buddy.free(pin)
+        before_free = buddy.free_frames
+        claimed = buddy.reserve_free_in_range(start, end)
+        assert buddy.free_frames == before_free - sum(r.count for r in claimed)
+        buddy.check_invariants()
+        # Every claimed frame lies inside the range.
+        for block in claimed:
+            assert start <= block.start and block.end <= end
+
+
+class TestConsolidate:
+    def test_fuses_fragmented_ownership(self):
+        buddy = BuddyAllocator(64)
+        buddy.reserve_free_in_range(0, 16)
+        block = buddy.consolidate(0, 4)
+        assert block.count == 16
+        buddy.free(block)
+        assert buddy.free_frames == 64
+        buddy.check_invariants()
+
+    def test_requires_alignment(self):
+        buddy = BuddyAllocator(64)
+        buddy.reserve_free_in_range(0, 64)
+        with pytest.raises(ValueError):
+            buddy.consolidate(4, 3)
+
+    def test_requires_full_coverage(self):
+        buddy = BuddyAllocator(64)
+        buddy.reserve_free_in_range(0, 12)  # [12, 16) still free
+        with pytest.raises(ReproError):
+            buddy.consolidate(0, 4)
+
+    def test_rejects_crossing_allocations(self):
+        buddy = BuddyAllocator(64)
+        buddy.alloc_order(5)  # [0, 32) one block crossing [0, 16)
+        with pytest.raises(ReproError):
+            buddy.consolidate(0, 4)
+
+
+class TestIsolateAndFreeFrame:
+    def test_isolate_keeps_frames_allocated(self):
+        buddy = BuddyAllocator(64)
+        block = buddy.alloc_order(2)
+        buddy.isolate_frame(block.start + 1)
+        assert buddy.allocated_frames == 4
+        buddy.check_invariants()
+        # Each frame can now be freed individually.
+        for pfn in range(block.start, block.end):
+            buddy.free_frame(pfn) if pfn != block.start + 1 else buddy.free(
+                type(block)(block.start + 1, 1)
+            )
+        assert buddy.free_frames == 64
+
+    def test_isolate_unallocated_rejected(self):
+        with pytest.raises(ReproError):
+            BuddyAllocator(64).isolate_frame(0)
+
+    def test_free_frame_then_realloc(self):
+        buddy = BuddyAllocator(64)
+        buddy.alloc_order(6)
+        buddy.free_frame(13)
+        block = buddy.alloc_order(0)
+        assert block.start == 13
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_order(0)

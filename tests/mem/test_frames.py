@@ -1,0 +1,59 @@
+"""Tests for FrameRange and range coalescing."""
+
+import pytest
+
+from repro.mem.frames import FrameRange, coalesce_ranges
+
+
+class TestFrameRange:
+    def test_basic_properties(self):
+        r = FrameRange(10, 4)
+        assert r.end == 14
+        assert 10 in r and 13 in r
+        assert 14 not in r and 9 not in r
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameRange(-1, 1)
+        with pytest.raises(ValueError):
+            FrameRange(0, 0)
+
+    def test_overlaps(self):
+        assert FrameRange(0, 4).overlaps(FrameRange(3, 4))
+        assert not FrameRange(0, 4).overlaps(FrameRange(4, 4))
+        assert FrameRange(2, 10).overlaps(FrameRange(5, 1))
+
+    def test_split(self):
+        head, tail = FrameRange(8, 8).split(3)
+        assert head == FrameRange(8, 3)
+        assert tail == FrameRange(11, 5)
+
+    def test_split_bounds(self):
+        with pytest.raises(ValueError):
+            FrameRange(0, 4).split(0)
+        with pytest.raises(ValueError):
+            FrameRange(0, 4).split(4)
+
+    def test_ordering(self):
+        assert FrameRange(1, 2) < FrameRange(2, 1)
+
+
+class TestCoalesce:
+    def test_empty(self):
+        assert coalesce_ranges([]) == []
+
+    def test_adjacent_merge(self):
+        merged = coalesce_ranges([FrameRange(0, 4), FrameRange(4, 4)])
+        assert merged == [FrameRange(0, 8)]
+
+    def test_gap_preserved(self):
+        merged = coalesce_ranges([FrameRange(0, 4), FrameRange(5, 4)])
+        assert len(merged) == 2
+
+    def test_unsorted_input(self):
+        merged = coalesce_ranges([FrameRange(8, 2), FrameRange(0, 2), FrameRange(2, 6)])
+        assert merged == [FrameRange(0, 10)]
+
+    def test_contained_range(self):
+        merged = coalesce_ranges([FrameRange(0, 10), FrameRange(2, 3)])
+        assert merged == [FrameRange(0, 10)]

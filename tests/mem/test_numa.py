@@ -1,0 +1,54 @@
+"""Tests for the NUMA topology substrate."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.mem.numa import NumaTopology
+
+
+class TestTopology:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            NumaTopology([])
+
+    def test_two_tier_defaults(self):
+        topo = NumaTopology.two_tier()
+        assert len(topo.nodes) == 2
+        assert topo.nodes[0].latency_cycles < topo.nodes[1].latency_cycles
+
+    def test_global_frame_space_is_partitioned(self):
+        topo = NumaTopology([(256, 10), (256, 20)])
+        assert topo.total_frames == 512
+        assert topo.nodes[1].base_frame == 256
+
+    def test_node_of_and_latency(self):
+        topo = NumaTopology([(256, 10), (256, 20)])
+        assert topo.node_of(0).node_id == 0
+        assert topo.node_of(300).node_id == 1
+        assert topo.latency_of(300) == 20
+        with pytest.raises(ValueError):
+            topo.node_of(512)
+
+    def test_alloc_on_node_returns_global_frames(self):
+        topo = NumaTopology([(256, 10), (256, 20)])
+        block = topo.alloc_on(1, 3)
+        assert block.start >= 256
+        assert topo.node_of(block.start).node_id == 1
+
+    def test_alloc_free_roundtrip(self):
+        topo = NumaTopology([(64, 10), (64, 20)])
+        block = topo.alloc_on(1, 2)
+        topo.nodes[1].free(block)
+        assert topo.nodes[1].allocator.free_frames == 64
+
+    def test_alloc_preferring_spills(self):
+        topo = NumaTopology([(16, 10), (64, 20)])
+        topo.alloc_on(0, 4)  # exhaust node 0
+        block = topo.alloc_preferring(0, 2)
+        assert topo.node_of(block.start).node_id == 1
+
+    def test_alloc_preferring_exhausted_everywhere(self):
+        topo = NumaTopology([(16, 10)])
+        topo.alloc_on(0, 4)
+        with pytest.raises(OutOfMemoryError):
+            topo.alloc_preferring(0, 0)

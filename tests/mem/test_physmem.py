@@ -1,0 +1,70 @@
+"""Tests for the PhysicalMemory facade and fragmentation profiles."""
+
+import pytest
+
+from repro.mem.physmem import PROFILES, FragmentationProfile, PhysicalMemory
+from repro.util.rng import make_rng
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {
+            "pristine", "light", "moderate", "heavy", "severe"
+        }
+        assert PROFILES["pristine"].hold_fraction == 0.0
+
+    def test_profiles_ordered_by_pressure(self):
+        assert (
+            PROFILES["light"].hold_fraction
+            < PROFILES["moderate"].hold_fraction
+            < PROFILES["heavy"].hold_fraction
+            < PROFILES["severe"].hold_fraction
+        )
+
+
+class TestPhysicalMemory:
+    def test_pristine_has_everything_free(self):
+        memory = PhysicalMemory(1 << 12, "pristine")
+        assert memory.free_frames == 1 << 12
+        assert memory.background_frames == 0
+
+    def test_profile_by_name_or_object(self):
+        a = PhysicalMemory(1 << 12, "light", seed=1)
+        b = PhysicalMemory(1 << 12, PROFILES["light"], seed=1)
+        assert a.free_frames == b.free_frames
+
+    def test_fragmentation_holds_memory(self):
+        memory = PhysicalMemory(1 << 12, "moderate", seed=2)
+        assert memory.background_frames > 0
+        assert memory.free_frames < 1 << 12
+        memory.buddy.check_invariants()
+
+    def test_heavier_profile_lowers_max_order(self):
+        light = PhysicalMemory(1 << 14, "light", seed=5)
+        heavy = PhysicalMemory(1 << 14, "heavy", seed=5)
+        assert (heavy.buddy.largest_free_order() or 0) <= (
+            light.buddy.largest_free_order() or 0
+        )
+
+    def test_deterministic_in_seed(self):
+        a = PhysicalMemory(1 << 12, "moderate", seed=9)
+        b = PhysicalMemory(1 << 12, "moderate", seed=9)
+        assert a.contiguity_signature() == b.contiguity_signature()
+
+    def test_release_background(self):
+        memory = PhysicalMemory(1 << 12, "heavy", seed=4)
+        held = memory.background_frames
+        memory.release_background(0.5, make_rng(1))
+        assert memory.background_frames < held
+        memory.buddy.check_invariants()
+
+    def test_release_background_validation(self):
+        memory = PhysicalMemory(1 << 12, "light", seed=1)
+        with pytest.raises(ValueError):
+            memory.release_background(1.5, make_rng(0))
+
+    def test_custom_profile(self):
+        profile = FragmentationProfile("mine", 0.2, (1, 2))
+        memory = PhysicalMemory(1 << 12, profile, seed=1)
+        assert memory.profile.name == "mine"
+        assert memory.background_frames > 0

@@ -1,0 +1,68 @@
+"""Tests for the cluster and cluster-2MB schemes."""
+
+import pytest
+
+from repro.mem.frames import FrameRange
+from repro.schemes.cluster_scheme import ClusterScheme
+from repro.vmos.mapping import MemoryMapping
+
+
+@pytest.fixture
+def clustered_mapping():
+    """Aligned 8-page groups: ideal for cluster-8 coalescing."""
+    mapping = MemoryMapping()
+    for group in range(16):
+        mapping.map_run(group * 16, FrameRange(1024 + group * 64, 8))
+    return mapping
+
+
+class TestClusterScheme:
+    def test_one_walk_serves_whole_cluster(self, clustered_mapping):
+        scheme = ClusterScheme(clustered_mapping)
+        assert scheme.access(0) == 50
+        # The other 7 pages of the cluster hit the cluster TLB after
+        # their L1 misses — cold L1 means first touch per page goes to L2.
+        cycles = [scheme.access(vpn) for vpn in range(1, 8)]
+        assert all(c == scheme.config.latency.coalesced_hit for c in cycles)
+        assert scheme.stats.walks == 1
+        assert scheme.stats.coalesced_hits == 7
+
+    def test_singleton_goes_to_regular_side(self):
+        mapping = MemoryMapping()
+        mapping.map_page(5, 999)      # no coalescible neighbours
+        mapping.map_page(6, 2000)     # different physical cluster
+        scheme = ClusterScheme(mapping)
+        scheme.access(5)
+        assert scheme.clustered.array.occupancy == 0
+        assert scheme.regular.occupancy == 1
+
+    def test_name_variants(self, clustered_mapping):
+        assert ClusterScheme(clustered_mapping).name == "cluster"
+        assert ClusterScheme(clustered_mapping, use_thp=True).name == "cluster2mb"
+
+    def test_cluster_plain_ignores_huge_mappings(self):
+        mapping = MemoryMapping()
+        mapping.map_run(512, FrameRange(4096, 512))
+        plain = ClusterScheme(mapping, use_thp=False)
+        with_thp = ClusterScheme(mapping, use_thp=True)
+        plain.access(512)
+        with_thp.access(512)
+        # THP variant covers the whole window with one walk.
+        assert with_thp.access(900) == 0
+        # Plain variant needs more translation work for a far page.
+        assert plain.access(900) > 0
+
+    def test_2mb_variant_l2_huge_hits(self, tiny_machine):
+        mapping = MemoryMapping()
+        mapping.map_run(512, FrameRange(4096, 1024))
+        scheme = ClusterScheme(mapping, tiny_machine, use_thp=True)
+        scheme.access(512)
+        scheme.access(1024)
+        scheme.stats.check_conservation()
+        assert scheme.stats.walks == 2
+
+    def test_flush(self, clustered_mapping):
+        scheme = ClusterScheme(clustered_mapping)
+        scheme.access(0)
+        scheme.flush()
+        assert scheme.access(0) == 50

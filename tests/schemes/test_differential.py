@@ -1,0 +1,53 @@
+"""The repository's central invariant (DESIGN.md §6.1):
+
+Every translation scheme must translate every mapped page to exactly
+the PFN the ground-truth mapping holds, on every scenario — and the
+cycles-charging ``access`` path must agree with the pure ``translate``
+path.
+"""
+
+import pytest
+
+from repro.params import SCENARIO_ORDER
+from repro.schemes.registry import make_scheme, scheme_names
+from repro.vmos.scenarios import build_mapping
+from repro.vmos.vma import AllocationSite, layout_vmas
+
+ALL_SCHEMES = scheme_names(include_extras=True)
+
+
+@pytest.fixture(scope="module")
+def vmas():
+    return layout_vmas([AllocationSite(1024, 1), AllocationSite(48, 3)])
+
+
+@pytest.mark.parametrize("scenario", SCENARIO_ORDER)
+@pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+def test_translate_matches_ground_truth(vmas, scenario, scheme_name):
+    mapping = build_mapping(vmas, scenario, seed=23)
+    scheme = make_scheme(scheme_name, mapping)
+    for vpn, pfn in mapping.items():
+        assert scheme.translate(vpn) == pfn, (scheme_name, scenario, hex(vpn))
+        assert scheme.translate_checked(vpn) == pfn
+
+
+@pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+def test_access_path_consistent_with_translate(vmas, scheme_name):
+    """Drive accesses (stateful TLBs) and re-check pure translation."""
+    mapping = build_mapping(vmas, "medium", seed=29)
+    scheme = make_scheme(scheme_name, mapping)
+    vpns = [vpn for vpn, _ in list(mapping.items())[::7]]
+    for repeat in range(2):  # second pass exercises all hit paths
+        for vpn in vpns:
+            cycles = scheme.access(vpn)
+            assert cycles >= 0
+            assert scheme.translate(vpn) == mapping.translate(vpn)
+    scheme.stats.check_conservation()
+
+
+@pytest.mark.parametrize("distance", [2, 16, 512, 65536])
+def test_anchor_static_distances_also_correct(vmas, distance):
+    mapping = build_mapping(vmas, "medium", seed=31)
+    scheme = make_scheme("anchor-static", mapping, distance=distance)
+    for vpn, pfn in list(mapping.items())[::11]:
+        assert scheme.translate(vpn) == pfn

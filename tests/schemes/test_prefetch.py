@@ -1,0 +1,106 @@
+"""Tests for the distance-prefetching scheme."""
+
+import numpy as np
+import pytest
+
+from repro.mem.frames import FrameRange
+from repro.schemes.baseline import BaselineScheme
+from repro.schemes.prefetch_scheme import DistancePredictor, PrefetchScheme
+from repro.vmos.mapping import MemoryMapping
+
+
+@pytest.fixture
+def strided_mapping():
+    mapping = MemoryMapping()
+    mapping.map_run(0, FrameRange(10_000, 4096))
+    return mapping
+
+
+class TestDistancePredictor:
+    def test_learns_constant_stride(self):
+        predictor = DistancePredictor()
+        predictor.observe_and_predict(0)
+        predictor.observe_and_predict(8)    # learns nothing yet
+        assert predictor.observe_and_predict(16) == 24
+
+    def test_no_prediction_for_unseen_stride(self):
+        predictor = DistancePredictor()
+        predictor.observe_and_predict(0)
+        assert predictor.observe_and_predict(100) is None
+
+    def test_learns_alternating_pattern(self):
+        predictor = DistancePredictor()
+        for vpn in (0, 3, 10, 13, 20):
+            prediction = predictor.observe_and_predict(vpn)
+        # Strides alternate 3,7,3,7: after the 7-stride at vpn=20 the
+        # table predicts a 3-stride next.
+        assert prediction == 23
+
+    def test_capacity_bounded(self):
+        predictor = DistancePredictor(capacity=2)
+        cursor = 0
+        for stride in (3, 5, 7, 11, 13, 17):
+            cursor += stride
+            predictor.observe_and_predict(cursor)
+        assert len(predictor._table) <= 2
+
+    def test_flush(self):
+        predictor = DistancePredictor()
+        for vpn in (0, 8, 16):
+            predictor.observe_and_predict(vpn)
+        predictor.flush()
+        assert predictor.observe_and_predict(24) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistancePredictor(capacity=0)
+
+
+class TestPrefetchScheme:
+    def test_strided_misses_halve_or_better(self, strided_mapping):
+        # Stride-16 sweep: the baseline walks every page; the prefetcher
+        # turns most walks into L2 hits after warmup.
+        vpns = list(range(0, 4096, 16))
+        base = BaselineScheme(strided_mapping)
+        pref = PrefetchScheme(strided_mapping)
+        for vpn in vpns:
+            base.access(vpn)
+            pref.access(vpn)
+        assert pref.stats.walks < 0.55 * base.stats.walks
+        assert pref.prefetch_accuracy > 0.8
+
+    def test_random_access_not_helped_not_hurt_much(self, strided_mapping):
+        rng = np.random.default_rng(1)
+        vpns = rng.integers(0, 4096, 3000).tolist()
+        base = BaselineScheme(strided_mapping)
+        pref = PrefetchScheme(strided_mapping)
+        for vpn in vpns:
+            base.access(vpn)
+            pref.access(vpn)
+        assert pref.stats.walks <= base.stats.walks * 1.1
+
+    def test_prefetch_off_map_edges_safe(self, strided_mapping):
+        scheme = PrefetchScheme(strided_mapping)
+        # Strides that predict beyond the mapping must not fault.
+        for vpn in (4064, 4080, 4095):
+            scheme.access(vpn)
+        scheme.stats.check_conservation()
+
+    def test_translation_correct(self, strided_mapping):
+        scheme = PrefetchScheme(strided_mapping)
+        for vpn in range(0, 4096, 97):
+            scheme.access(vpn)
+            assert scheme.translate(vpn) == 10_000 + vpn
+
+    def test_flush_clears_predictor(self, strided_mapping):
+        scheme = PrefetchScheme(strided_mapping)
+        for vpn in range(0, 320, 16):
+            scheme.access(vpn)
+        scheme.flush()
+        assert scheme.access(336) == 50  # cold again
+
+    def test_registry(self, strided_mapping):
+        from repro.schemes.registry import make_scheme, scheme_names
+        scheme = make_scheme("prefetch", strided_mapping)
+        assert scheme.name == "prefetch"
+        assert "prefetch" in scheme_names(include_extras=True)

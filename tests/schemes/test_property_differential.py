@@ -1,0 +1,98 @@
+"""Hypothesis differential testing over arbitrary random mappings.
+
+The repository's central invariant, pushed much harder than the
+scenario-based differential tests: for *any* mapping shape hypothesis
+can dream up (random chunk sizes, phases, gaps, protections) and any
+access order, every scheme's stateful access path must translate every
+page to the ground-truth frame, conserve its statistics, and agree with
+its own pure ``translate``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.frames import FrameRange
+from repro.params import MachineConfig, TLBGeometry
+from repro.schemes.registry import make_scheme, scheme_names
+from repro.vmos.mapping import MemoryMapping
+
+#: A tiny machine so hypothesis-sized traces still exercise evictions.
+TINY = MachineConfig(
+    l1_4k=TLBGeometry(8, 2),
+    l1_2m=TLBGeometry(4, 2),
+    l1_1g=TLBGeometry(4, 2),
+    l2_1g=TLBGeometry(4, 2),
+    l2=TLBGeometry(16, 4),
+)
+
+
+@st.composite
+def random_mapping(draw):
+    """A mapping of random chunks: sizes, virtual gaps, physical phases."""
+    mapping = MemoryMapping()
+    vpn = draw(st.integers(0, 2000))
+    pfn_cursor = draw(st.integers(0, 5000))
+    chunk_count = draw(st.integers(1, 10))
+    for _ in range(chunk_count):
+        size = draw(st.integers(1, 600))
+        gap = draw(st.integers(1, 40))
+        phase = draw(st.integers(0, 4))
+        pfn_cursor += gap + phase
+        mapping.map_run(vpn, FrameRange(pfn_cursor, size))
+        # Occasional protection islands.
+        if draw(st.booleans()) and size > 4:
+            mapping.set_protection(vpn + size // 2, 1, 0b01)
+        vpn += size + draw(st.integers(0, 30))
+        pfn_cursor += size
+    return mapping
+
+
+@st.composite
+def mapping_and_trace(draw):
+    mapping = draw(random_mapping())
+    vpns = [vpn for vpn, _ in mapping.items()]
+    indices = draw(st.lists(st.integers(0, len(vpns) - 1),
+                            min_size=1, max_size=120))
+    return mapping, [vpns[i] for i in indices]
+
+
+class TestRandomMappingDifferential:
+    @pytest.mark.parametrize("scheme_name", scheme_names(include_extras=True))
+    @given(data=mapping_and_trace())
+    @settings(max_examples=25, deadline=None)
+    def test_access_translations_always_correct(self, scheme_name, data):
+        mapping, trace = data
+        scheme = make_scheme(scheme_name, mapping, TINY)
+        for vpn in trace:
+            scheme.access(vpn)
+            assert scheme.translate(vpn) == mapping.translate(vpn)
+        scheme.stats.check_conservation()
+
+    @given(data=mapping_and_trace(), distance_log=st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_anchor_all_distances_always_correct(self, data, distance_log):
+        mapping, trace = data
+        scheme = make_scheme(
+            "anchor-static", mapping, TINY, distance=1 << distance_log
+        )
+        for vpn in trace:
+            scheme.access(vpn)
+            assert scheme.translate(vpn) == mapping.translate(vpn)
+        scheme.stats.check_conservation()
+
+    @given(data=mapping_and_trace())
+    @settings(max_examples=20, deadline=None)
+    def test_miss_counts_bounded_by_baseline_plus_conflicts(self, data):
+        """No coalescing scheme can walk more than ~the baseline does on
+        the same trace with generous slack for partition/index effects."""
+        mapping, trace = data
+        array = np.asarray(trace, dtype=np.int64)
+        results = {}
+        for name in ("base", "anchor-dyn"):
+            scheme = make_scheme(name, mapping, TINY)
+            for vpn in array.tolist():
+                scheme.access(vpn)
+            results[name] = scheme.stats.walks
+        assert results["anchor-dyn"] <= results["base"] + len(trace) // 4 + 8

@@ -1,0 +1,31 @@
+"""Tests for the scheme registry."""
+
+import pytest
+
+from repro.schemes.registry import SCHEME_ORDER, make_scheme, scheme_names
+
+
+class TestRegistry:
+    def test_order_matches_figures(self):
+        assert SCHEME_ORDER == (
+            "base", "thp", "cluster", "cluster2mb", "rmm", "anchor-dyn"
+        )
+
+    def test_every_name_constructs(self, medium_mapping):
+        for name in scheme_names(include_extras=True):
+            scheme = make_scheme(name, medium_mapping)
+            assert scheme.name.startswith(name.split("-")[0])
+
+    def test_anchor_static_requires_distance(self, medium_mapping):
+        with pytest.raises(ValueError):
+            make_scheme("anchor-static", medium_mapping)
+        scheme = make_scheme("anchor-static", medium_mapping, distance=32)
+        assert scheme.distance == 32
+
+    def test_unknown_name(self, medium_mapping):
+        with pytest.raises(ValueError):
+            make_scheme("nope", medium_mapping)
+
+    def test_extras_include_colt(self):
+        assert "colt" in scheme_names(include_extras=True)
+        assert "colt" not in scheme_names()

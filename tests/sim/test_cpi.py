@@ -1,0 +1,36 @@
+"""Tests for the CPI reporting helpers."""
+
+import pytest
+
+from repro.sim.cpi import CPIBreakdown, cpi_breakdown, cpi_reduction
+from repro.sim.engine import SimulationResult
+from repro.sim.stats import TranslationStats
+
+
+def result_with(walks, l2_hits, coalesced, instructions=1000):
+    stats = TranslationStats()
+    stats.accesses = walks + l2_hits + coalesced
+    stats.l2_small_hits = l2_hits
+    stats.coalesced_hits = coalesced
+    stats.walks = walks
+    return SimulationResult("s", "w", stats, instructions)
+
+
+class TestCPI:
+    def test_breakdown_parts(self):
+        parts = cpi_breakdown(result_with(10, 20, 30))
+        assert parts.l2_hit == pytest.approx(20 * 7 / 1000)
+        assert parts.coalesced_hit == pytest.approx(30 * 8 / 1000)
+        assert parts.page_walk == pytest.approx(10 * 50 / 1000)
+        assert parts.total == pytest.approx((140 + 240 + 500) / 1000)
+        assert isinstance(parts, CPIBreakdown)
+
+    def test_reduction(self):
+        base = result_with(100, 0, 0)
+        better = result_with(10, 0, 0)
+        assert cpi_reduction(base, better) == pytest.approx(90 * 50 / 1000)
+
+    def test_labels_carried(self):
+        parts = cpi_breakdown(result_with(1, 1, 1))
+        assert parts.scheme == "s"
+        assert parts.workload == "w"

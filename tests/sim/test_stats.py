@@ -1,0 +1,75 @@
+"""Tests for TranslationStats and its derived metrics."""
+
+import pytest
+
+from repro.params import LatencyModel
+from repro.sim.stats import TranslationStats
+
+
+@pytest.fixture
+def stats():
+    s = TranslationStats()
+    s.accesses = 100
+    s.l1_hits = 60
+    s.l2_small_hits = 20
+    s.l2_huge_hits = 5
+    s.coalesced_hits = 10
+    s.walks = 5
+    return s
+
+
+class TestDerived:
+    def test_l2_accesses(self, stats):
+        assert stats.l2_accesses == 40
+
+    def test_regular_hits_combine_sizes(self, stats):
+        assert stats.l2_regular_hits == 25
+
+    def test_misses_are_walks(self, stats):
+        assert stats.l2_misses == 5
+
+    def test_cycles(self, stats):
+        assert stats.cycles_l2_hit == 25 * 7
+        assert stats.cycles_coalesced == 10 * 8
+        assert stats.cycles_walk == 5 * 50
+        assert stats.translation_cycles == 25 * 7 + 10 * 8 + 5 * 50
+
+    def test_custom_latency(self):
+        s = TranslationStats(latency=LatencyModel(l2_hit=10, coalesced_hit=20,
+                                                  page_walk=100))
+        s.walks = 2
+        assert s.cycles_walk == 200
+
+    def test_breakdown_sums_to_one(self, stats):
+        regular, coalesced, miss = stats.l2_breakdown()
+        assert regular + coalesced + miss == pytest.approx(1.0)
+        assert regular == pytest.approx(25 / 40)
+
+    def test_breakdown_empty(self):
+        assert TranslationStats().l2_breakdown() == (0.0, 0.0, 0.0)
+
+    def test_miss_ratio(self, stats):
+        assert stats.miss_ratio() == pytest.approx(0.05)
+        assert TranslationStats().miss_ratio() == 0.0
+
+    def test_cpi(self, stats):
+        cpi = stats.translation_cpi(1000)
+        assert cpi == pytest.approx(stats.translation_cycles / 1000)
+        parts = stats.cpi_breakdown(1000)
+        assert sum(parts) == pytest.approx(cpi)
+
+    def test_cpi_validation(self, stats):
+        with pytest.raises(ValueError):
+            stats.translation_cpi(0)
+        with pytest.raises(ValueError):
+            stats.cpi_breakdown(-5)
+
+
+class TestConservation:
+    def test_ok(self, stats):
+        stats.check_conservation()
+
+    def test_violation_detected(self, stats):
+        stats.walks += 1
+        with pytest.raises(AssertionError):
+            stats.check_conservation()

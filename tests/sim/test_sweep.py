@@ -1,0 +1,68 @@
+"""Tests for the static-ideal distance sweep."""
+
+import numpy as np
+import pytest
+
+from repro.mem.frames import FrameRange
+from repro.sim.sweep import distance_sweep, static_ideal, useful_distances
+from repro.sim.trace import Trace
+from repro.vmos.mapping import MemoryMapping
+
+
+@pytest.fixture
+def mapping():
+    m = MemoryMapping()
+    vpn, pfn = 0, 10_000
+    for _ in range(16):          # sixteen 64-page chunks
+        m.map_run(vpn, FrameRange(pfn, 64))
+        vpn += 65
+        pfn += 71
+    return m
+
+
+@pytest.fixture
+def trace(mapping):
+    rng = np.random.default_rng(1)
+    vpns = np.array([vpn for vpn, _ in mapping.items()], dtype=np.int64)
+    picks = vpns[rng.integers(0, len(vpns), 4000)]
+    return Trace(picks, 12_000, "sweep")
+
+
+class TestUsefulDistances:
+    def test_prunes_beyond_double_largest_chunk(self, mapping):
+        kept = useful_distances(mapping)
+        assert max(kept) <= 128
+        assert 64 in kept
+
+    def test_empty_mapping(self):
+        assert useful_distances(MemoryMapping()) == (2,)
+
+
+class TestSweep:
+    def test_sweep_covers_candidates(self, mapping, trace):
+        points = distance_sweep(mapping, trace, candidates=(4, 64))
+        assert [p.distance for p in points] == [4, 64]
+        assert all(p.walks > 0 for p in points)
+
+    def test_subsample_shortens_runs(self, mapping, trace):
+        thin = distance_sweep(mapping, trace, candidates=(64,), subsample=4)
+        full = distance_sweep(mapping, trace, candidates=(64,))
+        assert thin[0].result.stats.accesses < full[0].result.stats.accesses
+
+
+class TestStaticIdeal:
+    def test_returns_best_distance(self, mapping, trace):
+        result = static_ideal(mapping, trace)
+        sweep = dict(result.extras["sweep"])
+        assert result.extras["ideal_distance"] in sweep
+        assert sweep[result.extras["ideal_distance"]] == min(sweep.values())
+        assert result.scheme == "anchor-ideal"
+
+    def test_ideal_not_worse_than_arbitrary_static(self, mapping, trace):
+        result = static_ideal(mapping, trace)
+        sweep = dict(result.extras["sweep"])
+        assert result.stats.walks <= max(sweep.values())
+
+    def test_subsampled_search_resimulates_full(self, mapping, trace):
+        result = static_ideal(mapping, trace, subsample=4)
+        assert result.stats.accesses == len(trace)

@@ -1,0 +1,68 @@
+"""Tests for the trace container."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import Trace, concatenate
+
+
+def make(vpns, instructions=None, name="t"):
+    return Trace(np.asarray(vpns, dtype=np.int64), instructions or 100, name)
+
+
+class TestTrace:
+    def test_basics(self):
+        trace = make([1, 2, 3], 30)
+        assert len(trace) == 3
+        assert trace.references == 3
+        assert trace.mem_ratio == pytest.approx(0.1)
+        assert list(trace) == [1, 2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros((2, 2), dtype=np.int64), 10)
+        with pytest.raises(ValueError):
+            Trace(np.asarray([1], dtype=np.int64), 0)
+
+    def test_prefix(self):
+        trace = make(list(range(100)), 1000)
+        head = trace.prefix(10)
+        assert len(head) == 10
+        assert head.instructions == 100
+
+    def test_prefix_clamps(self):
+        trace = make([1, 2], 10)
+        assert len(trace.prefix(50)) == 2
+
+    def test_prefix_validation(self):
+        with pytest.raises(ValueError):
+            make([1]).prefix(0)
+
+    def test_subsample(self):
+        trace = make(list(range(10)), 100)
+        thin = trace.subsample(3)
+        assert list(thin) == [0, 3, 6, 9]
+        assert thin.instructions == 33
+        assert trace.subsample(1) is trace
+
+    def test_unique_pages(self):
+        assert make([1, 1, 2, 5, 5]).unique_pages() == 3
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = make([7, 8, 9], 42, "roundtrip")
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert list(loaded) == [7, 8, 9]
+        assert loaded.instructions == 42
+        assert loaded.name == "roundtrip"
+
+    def test_concatenate(self):
+        joined = concatenate([make([1, 2], 10, "a"), make([3], 5, "b")])
+        assert list(joined) == [1, 2, 3]
+        assert joined.instructions == 15
+        assert joined.name == "a"
+
+    def test_concatenate_empty(self):
+        with pytest.raises(ValueError):
+            concatenate([])

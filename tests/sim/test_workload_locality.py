@@ -1,0 +1,64 @@
+"""Validate each workload model's locality class with the analysis toolkit.
+
+DESIGN.md §4 claims the synthetic models reproduce the applications'
+page-level locality profiles; these tests pin the *class* of each model
+(random-dominated, stream-dominated, pointer-chasing, hot-set) so a
+future edit to a pattern cannot silently change a workload's character
+and invalidate the figure shapes.
+"""
+
+import pytest
+
+from repro.sim.analysis import profile
+from repro.sim.workloads import WORKLOAD_ORDER, get_workload
+
+REFERENCES = 6000
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {
+        name: profile(get_workload(name).make_trace(REFERENCES, seed=9))
+        for name in WORKLOAD_ORDER
+    }
+
+
+class TestLocalityClasses:
+    def test_random_dominated_have_flat_reuse(self, profiles):
+        """gups/tigr/canneal: big footprints, little short-range reuse."""
+        for name in ("gups", "tigr", "canneal"):
+            assert profiles[name].hit_at_l2_reach < 0.45, name
+
+    def test_hot_set_apps_have_strong_reuse(self, profiles):
+        """omnetpp/xalancbmk/sphinx3: most references hit a small set."""
+        for name in ("omnetpp", "xalancbmk", "sphinx3"):
+            assert profiles[name].hit_at_l2_reach > 0.5, name
+
+    def test_stream_apps_touch_pages_in_bursts(self, profiles):
+        """Stencil sweeps reuse each page a few times then move on, so
+        the L1-reach hit ratio is already high."""
+        for name in ("GemsFDTD", "cactusADM", "milc"):
+            assert profiles[name].hit_at_l1_reach > 0.3, name
+
+    def test_pointer_chasers_have_high_cold_or_long_reuse(self, profiles):
+        for name in ("mcf", "mummer"):
+            long_or_cold = 1.0 - profiles[name].hit_at_l2_reach
+            assert long_or_cold > 0.4, name
+
+    def test_gups_is_the_extreme(self, profiles):
+        worst = min(profiles.values(), key=lambda p: p.hit_at_l2_reach)
+        assert worst is profiles["gups"]
+
+    def test_footprint_ordering_preserved(self, profiles):
+        assert (profiles["gups"].distinct_pages
+                > profiles["mcf"].distinct_pages
+                > profiles["omnetpp"].distinct_pages)
+
+    def test_every_workload_exceeds_l2_reach(self, profiles):
+        """Footprint >> TLB reach must hold for every app (DESIGN §4) —
+        otherwise the baseline would not miss and relative numbers would
+        be meaningless."""
+        for name in profiles:
+            assert get_workload(name).footprint_pages > 4 * 1024, name
+        for name, prof in profiles.items():
+            assert prof.distinct_pages > 500, name

@@ -1,0 +1,81 @@
+"""Tests for the per-application workload models."""
+
+import pytest
+
+from repro.sim.workloads import (
+    WORKLOAD_ORDER,
+    WORKLOADS,
+    get_workload,
+    workload_names,
+)
+
+
+class TestCatalogue:
+    def test_all_fourteen_paper_apps_present(self):
+        assert len(WORKLOAD_ORDER) == 14
+        for name in WORKLOAD_ORDER:
+            assert name in WORKLOADS
+
+    def test_raytrace_fig1_only(self):
+        assert "raytrace" in WORKLOADS
+        assert "raytrace" not in workload_names()
+        assert "raytrace" in workload_names(include_fig1_only=True)
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError):
+            get_workload("quake")
+
+    def test_footprints_scaled_sensibly(self):
+        # Big-memory apps dominate; small-heap apps stay small.
+        assert get_workload("gups").footprint_pages >= 1 << 17
+        assert get_workload("omnetpp").footprint_pages < 1 << 14
+
+    def test_mem_ratio_plausible(self):
+        for workload in WORKLOADS.values():
+            assert 0.1 <= workload.mem_ops_per_instr <= 0.6
+
+
+class TestVMALayout:
+    def test_vmas_cover_footprint(self):
+        for name in ("gups", "omnetpp", "sphinx3"):
+            workload = get_workload(name)
+            assert sum(v.pages for v in workload.vmas()) == workload.footprint_pages
+
+    def test_vmas_deterministic(self):
+        assert get_workload("mcf").vmas() == get_workload("mcf").vmas()
+
+
+class TestTraces:
+    @pytest.mark.parametrize("name", ["gups", "mcf", "omnetpp", "GemsFDTD"])
+    def test_trace_stays_within_vmas(self, name):
+        workload = get_workload(name)
+        trace = workload.make_trace(2000, seed=1)
+        mapped = set()
+        for vma in workload.vmas():
+            mapped.update(range(vma.start_vpn, vma.end_vpn))
+        assert set(trace.vpns.tolist()) <= mapped
+
+    def test_trace_deterministic_in_seed(self):
+        a = get_workload("milc").make_trace(500, seed=2)
+        b = get_workload("milc").make_trace(500, seed=2)
+        assert (a.vpns == b.vpns).all()
+
+    def test_trace_varies_with_seed(self):
+        a = get_workload("gups").make_trace(500, seed=2)
+        b = get_workload("gups").make_trace(500, seed=3)
+        assert (a.vpns != b.vpns).any()
+
+    def test_instruction_count_from_ratio(self):
+        workload = get_workload("gups")
+        trace = workload.make_trace(700, seed=1)
+        assert trace.instructions == round(700 / workload.mem_ops_per_instr)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            get_workload("gups").make_trace(0)
+
+    def test_locality_ordering(self):
+        """gups (uniform) must touch far more unique pages than omnetpp."""
+        gups = get_workload("gups").make_trace(5000, seed=4)
+        omnetpp = get_workload("omnetpp").make_trace(5000, seed=4)
+        assert gups.unique_pages() > 3 * omnetpp.unique_pages()

@@ -1,0 +1,97 @@
+"""Tests for the whole-machine System facade."""
+
+import pytest
+
+from repro.system import System
+
+
+class TestLaunch:
+    def test_launch_pages_everything_in(self):
+        system = System(seed=1)
+        process = system.launch("sphinx3")
+        assert process.footprint_pages == process.workload.footprint_pages
+        assert process.name == "sphinx3#0"
+
+    def test_memory_sized_lazily(self):
+        system = System(seed=1)
+        assert system.memory is None
+        process = system.launch("sphinx3")
+        assert system.memory is not None
+        assert system.memory.total_frames >= 2 * process.footprint_pages
+
+    def test_eager_policy(self):
+        system = System(seed=1)
+        process = system.launch("sphinx3", policy="eager")
+        assert process.policy == "eager"
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            System(seed=1).launch("sphinx3", policy="lazy")
+
+    def test_duplicate_name_rejected(self):
+        system = System(seed=1)
+        system.launch("sphinx3", name="p")
+        with pytest.raises(ValueError):
+            system.launch("sphinx3", name="p")
+
+    def test_two_processes_share_memory_and_fragment_each_other(self):
+        alone = System(seed=2, pressure="pristine",
+                       total_frames=1 << 16).launch("sphinx3")
+        crowded_system = System(seed=2, pressure="pristine",
+                                total_frames=1 << 16)
+        crowded_system.launch("omnetpp")
+        crowded = crowded_system.launch("sphinx3")
+        # Same seed, same machine size: only the co-runner differs, and
+        # the second launch sees a more consumed buddy system.
+        assert crowded_system.memory.free_frames < (1 << 16)
+        assert crowded.footprint_pages == alone.footprint_pages
+
+    def test_ease_pressure_requires_boot(self):
+        with pytest.raises(RuntimeError):
+            System(seed=1).ease_pressure(0.5)
+
+
+class TestRun:
+    def test_run_returns_result(self):
+        system = System(seed=3)
+        process = system.launch("sphinx3")
+        result = system.run(process, scheme="base", references=3000)
+        assert result.stats.accesses == 3000
+        result.stats.check_conservation()
+
+    def test_anchor_beats_base_on_same_system(self):
+        system = System(seed=3)
+        process = system.launch("sphinx3")
+        base = system.run(process, scheme="base", references=5000)
+        anchor = system.run(process, scheme="anchor-dyn", references=5000)
+        assert anchor.stats.walks < base.stats.walks
+
+    def test_run_together(self):
+        system = System(seed=4)
+        a = system.launch("sphinx3", name="a")
+        b = system.launch("omnetpp", name="b")
+        result = system.run_together([a, b], scheme="base",
+                                     references=3000, quantum=500)
+        assert result.stats["a"].accesses == 3000
+        assert result.stats["b"].accesses == 3000
+        assert result.switches > 0
+
+
+class TestCompactionFlow:
+    def test_compact_improves_selected_distance(self):
+        # milc's regions are 8192 pages — collapsible into 2 MiB windows
+        # (sphinx3's 128-page regions would be too small for khugepaged).
+        # Memory only 2x the footprint so THP mostly fails at launch.
+        system = System(seed=5, pressure="severe", total_frames=1 << 16)
+        process = system.launch("milc")
+        before = process.selected_distance()
+        system.ease_pressure(1.0)
+        result = system.compact(process)
+        assert result.windows_collapsed > 0
+        assert process.selected_distance() >= before
+
+    def test_compact_requires_boot(self):
+        system = System(seed=5)
+        process_like = None
+        with pytest.raises(RuntimeError):
+            system.compact(process_like)

@@ -1,0 +1,73 @@
+"""Tests for the text chart renderers."""
+
+import pytest
+
+from repro.util.charts import bar_chart, cdf_sketch, stacked_bar_chart
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        text = bar_chart(["a", "bb"], [50.0, 100.0], width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10      # max value fills the bar
+        assert lines[0].count("#") == 5
+
+    def test_unit_suffix(self):
+        assert "42.0%" in bar_chart(["x"], [42.0], unit="%")
+
+    def test_explicit_max(self):
+        text = bar_chart(["x"], [50.0], width=10, max_value=100.0)
+        assert text.count("#") == 5
+
+    def test_value_above_max_clamped(self):
+        text = bar_chart(["x"], [200.0], width=10, max_value=100.0)
+        assert text.count("#") == 10
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+
+class TestStackedBarChart:
+    def test_components_rendered(self):
+        text = stacked_bar_chart(["x"], [[5.0, 5.0]], width=10)
+        assert "#####=====" in text
+
+    def test_total_label(self):
+        assert "10.00" in stacked_bar_chart(["x"], [[5.0, 5.0]], width=10)
+
+    def test_scaling_across_rows(self):
+        text = stacked_bar_chart(["a", "b"], [[10.0], [5.0]], width=10)
+        short = text.splitlines()[1]
+        assert short.count("#") == 5
+
+    def test_too_many_components(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart(["x"], [[1.0] * 9], part_symbols="#")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart(["a"], [])
+
+
+class TestCDFSketch:
+    def test_shades_increase(self):
+        sketch = cdf_sketch(
+            {"run": [(1, 0.1), (4, 0.5), (16, 1.0)]}, [1, 4, 16]
+        )
+        assert "final=1.00" in sketch
+
+    def test_empty_series_value(self):
+        sketch = cdf_sketch({"run": []}, [1, 2])
+        assert "final=0.00" in sketch
+
+    def test_alignment(self):
+        sketch = cdf_sketch(
+            {"a": [(1, 1.0)], "longer": [(1, 0.5)]}, [1]
+        )
+        lines = sketch.splitlines()
+        assert lines[0].index("[") == lines[1].index("[")

@@ -1,0 +1,118 @@
+"""Unit and property tests for the histogram/CDF utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.histogram import Histogram, cdf_points
+
+
+class TestHistogramBasics:
+    def test_empty_is_falsy(self):
+        assert not Histogram()
+        assert len(Histogram()) == 0
+        assert Histogram().total_items == 0
+        assert Histogram().total_weight == 0
+
+    def test_add_and_lookup(self):
+        h = Histogram()
+        h.add(4)
+        h.add(4, 2)
+        h.add(16)
+        assert h[4] == 3
+        assert h[16] == 1
+        assert h[99] == 0
+
+    def test_construct_from_iterable(self):
+        h = Histogram([1, 1, 2, 8])
+        assert h[1] == 2
+        assert h[2] == 1
+        assert h[8] == 1
+
+    def test_items_sorted(self):
+        h = Histogram([16, 2, 8, 2])
+        assert list(h.items()) == [(2, 2), (8, 1), (16, 1)]
+
+    def test_totals(self):
+        h = Histogram([3, 3, 10])
+        assert h.total_items == 3
+        assert h.total_weight == 16
+
+    def test_rejects_nonpositive_keys(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.add(0)
+        with pytest.raises(ValueError):
+            h.add(-3)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            Histogram().add(1, -1)
+
+    def test_zero_count_is_noop(self):
+        h = Histogram()
+        h.add(5, 0)
+        assert not h
+
+    def test_discard_partial_and_full(self):
+        h = Histogram([4, 4, 4])
+        h.discard(4)
+        assert h[4] == 2
+        h.discard(4, 5)  # clamps
+        assert h[4] == 0
+        assert not h
+
+    def test_discard_missing_key_is_noop(self):
+        h = Histogram([2])
+        h.discard(9)
+        assert h[2] == 1
+
+    def test_copy_is_independent(self):
+        h = Histogram([2])
+        c = h.copy()
+        c.add(2)
+        assert h[2] == 1
+        assert c[2] == 2
+
+    def test_equality(self):
+        assert Histogram([1, 2]) == Histogram([2, 1])
+        assert Histogram([1]) != Histogram([2])
+        assert Histogram() != object()  # NotImplemented path falls back
+
+
+class TestCDF:
+    def test_empty(self):
+        assert cdf_points(Histogram()) == []
+
+    def test_weighted_reaches_one(self):
+        h = Histogram([1, 2, 4, 8])
+        points = cdf_points(h, weighted=True)
+        assert points[-1][1] == pytest.approx(1.0)
+
+    def test_unweighted_reaches_one(self):
+        points = cdf_points(Histogram([1, 5, 5]), weighted=False)
+        assert points[-1][1] == pytest.approx(1.0)
+
+    def test_weighted_values(self):
+        h = Histogram([1, 3])  # 1 page in size-1, 3 pages in size-3
+        points = dict(cdf_points(h, weighted=True))
+        assert points[1] == pytest.approx(0.25)
+        assert points[3] == pytest.approx(1.0)
+
+    def test_unweighted_values(self):
+        h = Histogram([1, 3])
+        points = dict(cdf_points(h, weighted=False))
+        assert points[1] == pytest.approx(0.5)
+
+    @given(st.lists(st.integers(1, 200), min_size=1, max_size=60))
+    def test_monotone_nondecreasing(self, keys):
+        points = cdf_points(Histogram(keys))
+        fractions = [f for _, f in points]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=40))
+    def test_keys_strictly_increasing(self, keys):
+        points = cdf_points(Histogram(keys))
+        sizes = [s for s, _ in points]
+        assert sizes == sorted(set(sizes))

@@ -1,0 +1,40 @@
+"""Determinism tests for the RNG helpers."""
+
+from repro.util.rng import make_rng, spawn_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(5).integers(0, 1 << 30, 10)
+        b = make_rng(5).integers(0, 1 << 30, 10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(5).integers(0, 1 << 30, 10)
+        b = make_rng(6).integers(0, 1 << 30, 10)
+        assert (a != b).any()
+
+    def test_default_seed_is_stable(self):
+        a = make_rng().integers(0, 1 << 30, 4)
+        b = make_rng(None).integers(0, 1 << 30, 4)
+        assert (a == b).all()
+
+
+class TestSpawnRng:
+    def test_same_path_same_stream(self):
+        a = spawn_rng(1, "x", 2).integers(0, 1 << 30, 8)
+        b = spawn_rng(1, "x", 2).integers(0, 1 << 30, 8)
+        assert (a == b).all()
+
+    def test_different_paths_differ(self):
+        a = spawn_rng(1, "x").integers(0, 1 << 30, 8)
+        b = spawn_rng(1, "y").integers(0, 1 << 30, 8)
+        assert (a != b).any()
+
+    def test_child_independent_of_parent_draws(self):
+        parent_seed = 9
+        child1 = spawn_rng(parent_seed, "w").integers(0, 100, 4)
+        # Drawing from another sub-stream must not perturb the first.
+        spawn_rng(parent_seed, "other").integers(0, 100, 1000)
+        child2 = spawn_rng(parent_seed, "w").integers(0, 100, 4)
+        assert (child1 == child2).all()

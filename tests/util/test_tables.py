@@ -1,0 +1,52 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.util.tables import format_percent_bar, format_table
+
+
+class TestFormatTable:
+    def test_simple_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.5" in lines[2]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_precision(self):
+        text = format_table(["x"], [[1.23456]], precision=3)
+        assert "1.235" in text
+
+    def test_strings_pass_through(self):
+        text = format_table(["n", "v"], [["row", "val"]])
+        assert "row" in text and "val" in text
+
+    def test_alignment_widths(self):
+        text = format_table(["name"], [["a-very-long-cell"]])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestPercentBar:
+    def test_empty_and_full(self):
+        assert format_percent_bar(0.0, 10) == "." * 10
+        assert format_percent_bar(1.0, 10) == "#" * 10
+
+    def test_half(self):
+        assert format_percent_bar(0.5, 10) == "#" * 5 + "." * 5
+
+    def test_clamps(self):
+        assert format_percent_bar(-1.0, 4) == "...."
+        assert format_percent_bar(2.0, 4) == "####"

@@ -1,0 +1,186 @@
+"""Tests for the AnchorDirectory coverage planner (paper §3.1/§3.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.frames import FrameRange
+from repro.params import MAX_CONTIGUITY
+from repro.vmos.anchor import AnchorDirectory, distance_change_cost_ms
+from repro.vmos.mapping import MemoryMapping
+
+
+def run_mapping(sizes, vpn0=0, phase_aligned=True):
+    """Chunks laid out back to back with gaps; optionally 2MiB-phased."""
+    m = MemoryMapping()
+    vpn, pfn = vpn0, 4096
+    for size in sizes:
+        if phase_aligned:
+            pfn += (vpn - pfn) % 512
+        m.map_run(vpn, FrameRange(pfn, size))
+        vpn += size + 1
+        pfn += size + 3
+    return m
+
+
+class TestBuild:
+    def test_requires_pow2_distance(self):
+        with pytest.raises(ValueError):
+            AnchorDirectory.build(MemoryMapping(), 3)
+
+    def test_anchor_positions_are_aligned(self):
+        directory = AnchorDirectory.build(run_mapping([64]), 8)
+        assert directory.anchor_contiguity
+        assert all(a % 8 == 0 for a in directory.anchor_contiguity)
+
+    def test_contiguity_counts_run_length(self):
+        # Chunk of 64 pages at vpn 0: anchor at 0 sees 64, anchor at 16
+        # sees 48, ...
+        directory = AnchorDirectory.build(run_mapping([64]), 16, enable_thp=False)
+        assert directory.anchor_contiguity[0] == 64
+        assert directory.anchor_contiguity[16] == 48
+        assert directory.anchor_contiguity[48] == 16
+
+    def test_contiguity_capped_at_max(self):
+        mapping = MemoryMapping()
+        mapping.map_run(0, FrameRange(0, MAX_CONTIGUITY + 512))
+        directory = AnchorDirectory.build(mapping, 65536, enable_thp=False)
+        assert directory.anchor_contiguity[0] == MAX_CONTIGUITY
+
+    def test_unaligned_chunk_head_not_anchor_covered(self):
+        directory = AnchorDirectory.build(
+            run_mapping([32], vpn0=3), 16, enable_thp=False
+        )
+        # Head pages 3..15 precede the first aligned anchor at 16.
+        assert not directory.anchor_covers(3)
+        assert directory.anchor_covers(16)
+        assert directory.anchor_covers(34)
+
+    def test_translate_via_anchor_arithmetic(self):
+        directory = AnchorDirectory.build(run_mapping([64]), 16, enable_thp=False)
+        for vpn in (0, 5, 17, 63):
+            expected = directory.small[0] + vpn
+            assert directory.translate_via_anchor(vpn) == expected
+
+    def test_translate_via_anchor_contiguity_miss(self):
+        # Two separate chunks; second chunk's pages must not be served
+        # by the first chunk's anchor.
+        mapping = MemoryMapping()
+        mapping.map_run(0, FrameRange(1000, 8))
+        mapping.map_run(8, FrameRange(5000, 8))  # physically discontiguous
+        directory = AnchorDirectory.build(mapping, 16, enable_thp=False)
+        assert directory.anchor_contiguity[0] == 8
+        assert directory.translate_via_anchor(9) is None
+
+
+class TestHugePromotion:
+    def test_thp_first_when_distance_small(self):
+        # 2 MiB-aligned 1024-page chunk, distance 8 (< 512): the two
+        # aligned windows promote; anchors cover nothing inside them.
+        mapping = MemoryMapping()
+        mapping.map_run(512, FrameRange(2048, 1024))
+        directory = AnchorDirectory.build(mapping, 8)
+        assert set(directory.huge) == {512, 1024}
+        assert not directory.small
+
+    def test_anchor_first_when_distance_large(self):
+        mapping = MemoryMapping()
+        mapping.map_run(0, FrameRange(0, 4096))
+        directory = AnchorDirectory.build(mapping, 1024)
+        # Anchors own everything from vpn 0; no promotion at all.
+        assert not directory.huge
+        assert directory.anchor_contiguity[0] == 4096
+
+    def test_head_promoted_when_distance_large_and_head_misaligned(self):
+        # Chunk begins at 512 but the first 1024-aligned anchor is 1024:
+        # the head window [512, 1024) should be a huge page.
+        mapping = MemoryMapping()
+        mapping.map_run(512, FrameRange(512, 2048))
+        directory = AnchorDirectory.build(mapping, 1024)
+        assert 512 in directory.huge
+        assert 1024 not in directory.huge
+        assert directory.anchor_contiguity[1024] == 1536
+
+    def test_phase_mismatch_prevents_promotion(self):
+        mapping = MemoryMapping()
+        mapping.map_run(512, FrameRange(2048 + 7, 1024))  # PA phase off
+        directory = AnchorDirectory.build(mapping, 8)
+        assert not directory.huge
+
+    def test_thp_disabled(self):
+        mapping = MemoryMapping()
+        mapping.map_run(512, FrameRange(2048, 1024))
+        directory = AnchorDirectory.build(mapping, 8, enable_thp=False)
+        assert not directory.huge
+        assert len(directory.small) == 1024
+
+
+class TestPageTableMaterialisation:
+    def test_populate_matches_mapping(self):
+        mapping = run_mapping([64, 3, 700])
+        directory = AnchorDirectory.build(mapping, 16)
+        table = directory.populate_page_table()
+        for vpn, pfn in mapping.items():
+            assert table.walk(vpn).pfn == pfn
+
+    def test_anchor_bits_present(self):
+        mapping = run_mapping([64])
+        directory = AnchorDirectory.build(mapping, 16, enable_thp=False)
+        table = directory.populate_page_table()
+        assert table.walk(0).contiguity == 64
+
+    def test_huge_leaves_present(self):
+        mapping = MemoryMapping()
+        mapping.map_run(512, FrameRange(2048, 512))
+        directory = AnchorDirectory.build(mapping, 8)
+        table = directory.populate_page_table()
+        assert table.walk(700).huge
+
+
+class TestAnchorProperties:
+    @given(
+        st.lists(st.integers(1, 300), min_size=1, max_size=8),
+        st.sampled_from([2, 8, 16, 64, 512, 4096]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_anchor_translation_correct(self, sizes, distance):
+        mapping = run_mapping(sizes)
+        directory = AnchorDirectory.build(mapping, distance)
+        for vpn, pfn in mapping.items():
+            via = directory.translate_via_anchor(vpn)
+            if via is not None:
+                assert via == pfn
+            hvpn = vpn & ~511
+            if hvpn in directory.huge:
+                assert directory.huge[hvpn] + (vpn - hvpn) == pfn
+            else:
+                assert directory.small[vpn] == pfn
+
+    @given(
+        st.lists(st.integers(1, 300), min_size=1, max_size=8),
+        st.sampled_from([2, 16, 128]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_contiguity_never_crosses_chunks(self, sizes, distance):
+        mapping = run_mapping(sizes)
+        directory = AnchorDirectory.build(mapping, distance)
+        for avpn, contiguity in directory.anchor_contiguity.items():
+            base = directory.small[avpn]
+            for offset in range(contiguity):
+                assert directory.small.get(avpn + offset) == base + offset
+
+
+class TestDistanceChangeCost:
+    def test_inverse_linear_in_distance(self):
+        footprint = 30 * (1 << 30) // 4096
+        c8 = distance_change_cost_ms(footprint, 8)
+        c64 = distance_change_cost_ms(footprint, 64)
+        assert c8 / c64 == pytest.approx(8, rel=0.05)
+
+    def test_matches_paper_calibration_point(self):
+        footprint = 30 * (1 << 30) // 4096
+        assert distance_change_cost_ms(footprint, 8) == pytest.approx(452, rel=0.1)
+
+    def test_negative_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            distance_change_cost_ms(-1, 8)

@@ -1,0 +1,157 @@
+"""Tests for incremental anchor maintenance (§3.3 mapping updates).
+
+The invariant throughout: after any sequence of note_map/note_unmap
+operations, the directory must equal the one built from scratch on the
+equivalent mapping (differential testing, plus hypothesis sequences).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.mem.frames import FrameRange
+from repro.vmos.anchor import AnchorDirectory
+from repro.vmos.mapping import MemoryMapping
+
+
+def directory_equal(a: AnchorDirectory, b: AnchorDirectory) -> bool:
+    return (
+        a.small == b.small
+        and a.anchor_contiguity == b.anchor_contiguity
+        and a.huge == b.huge
+    )
+
+
+@pytest.fixture
+def mapping():
+    m = MemoryMapping()
+    m.map_run(0, FrameRange(1000, 64))
+    m.map_run(80, FrameRange(5000, 32))
+    return m
+
+
+class TestNoteUnmap:
+    def test_matches_rebuild(self, mapping):
+        directory = AnchorDirectory.build(mapping, 16, enable_thp=False)
+        directory.note_unmap(20)
+        mapping.unmap_page(20)
+        rebuilt = AnchorDirectory.build(mapping, 16, enable_thp=False)
+        assert directory_equal(directory, rebuilt)
+
+    def test_truncates_spanning_anchors(self, mapping):
+        directory = AnchorDirectory.build(mapping, 16, enable_thp=False)
+        assert directory.anchor_contiguity[0] == 64
+        directory.note_unmap(40)
+        assert directory.anchor_contiguity[0] == 40
+        assert directory.anchor_contiguity[16] == 24
+        assert directory.anchor_contiguity[32] == 8
+        # The right fragment keeps its own anchor.
+        assert directory.anchor_contiguity[48] == 16
+
+    def test_unmap_anchor_page_removes_anchor(self, mapping):
+        directory = AnchorDirectory.build(mapping, 16, enable_thp=False)
+        directory.note_unmap(16)
+        assert 16 not in directory.anchor_contiguity
+        assert directory.anchor_contiguity[0] == 16
+
+    def test_unmap_unmapped_rejected(self, mapping):
+        directory = AnchorDirectory.build(mapping, 16, enable_thp=False)
+        with pytest.raises(MappingError):
+            directory.note_unmap(70)
+
+    def test_returns_pfn(self, mapping):
+        directory = AnchorDirectory.build(mapping, 16, enable_thp=False)
+        assert directory.note_unmap(3) == 1003
+
+
+class TestNoteMap:
+    def test_fills_hole_and_merges_runs(self):
+        m = MemoryMapping()
+        m.map_run(0, FrameRange(1000, 8))
+        m.map_run(9, FrameRange(1009, 7))  # hole at vpn 8 (pfn 1008 free)
+        directory = AnchorDirectory.build(m, 8, enable_thp=False)
+        assert directory.anchor_contiguity[0] == 8
+        directory.note_map(8, 1008)
+        assert directory.anchor_contiguity[0] == 16
+        assert directory.anchor_contiguity[8] == 8
+
+    def test_matches_rebuild(self, mapping):
+        directory = AnchorDirectory.build(mapping, 8, enable_thp=False)
+        directory.note_map(70, 9999)
+        mapping.map_page(70, 9999)
+        rebuilt = AnchorDirectory.build(mapping, 8, enable_thp=False)
+        assert directory_equal(directory, rebuilt)
+
+    def test_double_map_rejected(self, mapping):
+        directory = AnchorDirectory.build(mapping, 8, enable_thp=False)
+        with pytest.raises(MappingError):
+            directory.note_map(0, 1)
+
+    def test_map_into_huge_window_rejected(self):
+        m = MemoryMapping()
+        m.map_run(512, FrameRange(4096, 512))
+        directory = AnchorDirectory.build(m, 8)
+        with pytest.raises(MappingError):
+            directory.note_map(600, 1)
+
+
+class TestAnchorsSpanning:
+    def test_spanning_list(self, mapping):
+        directory = AnchorDirectory.build(mapping, 16, enable_thp=False)
+        assert sorted(directory.anchors_spanning(40)) == [0, 16, 32]
+        assert directory.anchors_spanning(80) == [80]  # run start, aligned
+        assert sorted(directory.anchors_spanning(97)) == [80, 96]
+
+    def test_spanning_outside_runs(self, mapping):
+        directory = AnchorDirectory.build(mapping, 16, enable_thp=False)
+        assert directory.anchors_spanning(70) == []
+
+
+@st.composite
+def update_script(draw):
+    """Random map/unmap interleavings over a 96-page window."""
+    return draw(st.lists(
+        st.tuples(st.booleans(), st.integers(0, 95)), min_size=1, max_size=40
+    ))
+
+
+class TestIncrementalProperty:
+    @given(update_script(), st.sampled_from([2, 8, 16, 64]))
+    @settings(max_examples=50, deadline=None)
+    def test_any_script_matches_rebuild(self, script, distance):
+        mapping = MemoryMapping()
+        mapping.map_run(0, FrameRange(1000, 48))
+        mapping.map_run(50, FrameRange(7000, 40))
+        directory = AnchorDirectory.build(mapping, distance, enable_thp=False)
+        next_pfn = 20_000
+        for do_map, vpn in script:
+            if do_map and vpn not in mapping:
+                directory.note_map(vpn, next_pfn)
+                mapping.map_page(vpn, next_pfn)
+                next_pfn += 3  # scattered frames
+            elif not do_map and vpn in mapping:
+                directory.note_unmap(vpn)
+                mapping.unmap_page(vpn)
+        rebuilt = AnchorDirectory.build(mapping, distance, enable_thp=False)
+        assert directory_equal(directory, rebuilt)
+
+    @given(update_script())
+    @settings(max_examples=30, deadline=None)
+    def test_translations_stay_correct(self, script):
+        mapping = MemoryMapping()
+        mapping.map_run(0, FrameRange(1000, 96))
+        directory = AnchorDirectory.build(mapping, 16, enable_thp=False)
+        next_pfn = 50_000
+        for do_map, vpn in script:
+            if do_map and vpn not in mapping:
+                directory.note_map(vpn, next_pfn)
+                mapping.map_page(vpn, next_pfn)
+                next_pfn += 11
+            elif not do_map and vpn in mapping:
+                directory.note_unmap(vpn)
+                mapping.unmap_page(vpn)
+        for vpn, pfn in mapping.items():
+            via = directory.translate_via_anchor(vpn)
+            if via is not None:
+                assert via == pfn

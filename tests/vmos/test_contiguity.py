@@ -1,0 +1,50 @@
+"""Tests for contiguity histograms and CDFs."""
+
+import pytest
+
+from repro.mem.frames import FrameRange
+from repro.vmos.contiguity import (
+    contiguity_cdf,
+    contiguity_histogram,
+    coverage_at_or_below,
+    mean_chunk_pages,
+)
+from repro.vmos.mapping import MemoryMapping
+
+
+def make_mapping(sizes: list[int]) -> MemoryMapping:
+    m = MemoryMapping()
+    vpn, pfn = 0, 1000
+    for size in sizes:
+        m.map_run(vpn, FrameRange(pfn, size))
+        vpn += size + 1
+        pfn += size + 3
+    return m
+
+
+class TestHistogram:
+    def test_counts_chunks(self):
+        h = contiguity_histogram(make_mapping([4, 4, 16]))
+        assert h[4] == 2
+        assert h[16] == 1
+        assert h.total_weight == 24
+
+    def test_empty_mapping(self):
+        assert not contiguity_histogram(MemoryMapping())
+
+    def test_mean_chunk(self):
+        assert mean_chunk_pages(make_mapping([4, 4, 16])) == pytest.approx(8.0)
+        assert mean_chunk_pages(MemoryMapping()) == 0.0
+
+
+class TestCDF:
+    def test_cdf_weighted(self):
+        cdf = dict(contiguity_cdf(make_mapping([4, 12])))
+        assert cdf[4] == pytest.approx(0.25)
+        assert cdf[12] == pytest.approx(1.0)
+
+    def test_coverage_at_or_below(self):
+        m = make_mapping([2, 2, 12])
+        assert coverage_at_or_below(m, 2) == pytest.approx(4 / 16)
+        assert coverage_at_or_below(m, 100) == pytest.approx(1.0)
+        assert coverage_at_or_below(MemoryMapping(), 4) == 0.0

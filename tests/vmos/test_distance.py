@@ -1,0 +1,111 @@
+"""Tests for Algorithm 1 (distance selection) and its cost functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.params import ANCHOR_DISTANCES
+from repro.util.histogram import Histogram
+from repro.vmos.distance import (
+    cost_table,
+    distance_cost,
+    inverse_coverage_cost,
+    select_distance,
+)
+
+
+class TestDistanceCost:
+    def test_single_chunk_exact_cover(self):
+        h = Histogram([64])
+        assert distance_cost(h, 64) == 1.0        # one anchor
+        assert distance_cost(h, 32) == 2.0        # two anchors
+        assert distance_cost(h, 128) == 64.0      # 64 4KiB pages
+
+    def test_remainder_uses_huge_pages(self):
+        h = Histogram([1024 + 512 + 3])
+        # distance 1024: 1 anchor + one 2MiB page + 3 4KiB pages
+        assert distance_cost(h, 1024) == 1 + 1 + 3
+
+    def test_frequency_scales_cost(self):
+        single = distance_cost(Histogram([32]), 8)
+        triple = distance_cost(Histogram([32, 32, 32]), 8)
+        assert triple == pytest.approx(3 * single)
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            distance_cost(Histogram([4]), 0)
+
+
+class TestSelection:
+    def test_power_of_two_chunks_select_their_size(self):
+        for k in (2, 8, 64, 1024, 65536):
+            histogram = Histogram([k] * 5)
+            assert select_distance(histogram) == k
+
+    def test_empty_histogram_selects_smallest(self):
+        assert select_distance(Histogram()) == min(ANCHOR_DISTANCES)
+
+    def test_uniform_low_contiguity_selects_4(self):
+        # Table 4 'low': chunks uniform in 1..16 -> paper Table 6: d=4.
+        histogram = Histogram()
+        for size in range(1, 17):
+            histogram.add(size, 100)
+        assert select_distance(histogram) == 4
+
+    def test_uniform_medium_contiguity_selects_16_to_32(self):
+        histogram = Histogram()
+        for size in range(1, 513):
+            histogram.add(size, 10)
+        assert select_distance(histogram) in (16, 32)
+
+    def test_skewed_histogram_selects_large(self):
+        # One giant chunk dominating the footprint, plus small noise of
+        # *mixed* sizes (an eager-paging profile) -> large distance.
+        histogram = Histogram([65536] * 8)
+        for size in (1, 2, 3, 5, 7, 11):
+            histogram.add(size, 30)
+        assert select_distance(histogram) >= 16384
+
+    def test_candidates_respected(self):
+        histogram = Histogram([64] * 4)
+        assert select_distance(histogram, candidates=(4, 8)) == 8
+
+    def test_no_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            select_distance(Histogram([4]), candidates=())
+
+    @given(st.lists(st.integers(1, 4096), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_selection_minimises_cost(self, sizes):
+        histogram = Histogram(sizes)
+        picked = select_distance(histogram)
+        costs = cost_table(histogram)
+        assert costs[picked] == min(costs.values())
+
+    @given(st.lists(st.integers(1, 4096), min_size=1, max_size=30),
+           st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_cost_scales_linearly_with_frequency(self, sizes, factor):
+        h1 = Histogram(sizes)
+        hn = Histogram(sizes * factor)
+        for distance in (4, 64, 1024):
+            assert distance_cost(hn, distance) == pytest.approx(
+                factor * distance_cost(h1, distance)
+            )
+
+
+class TestInverseCoverageVariant:
+    def test_weighted_cheaper_than_count_for_anchors(self):
+        h = Histogram([1024])
+        assert inverse_coverage_cost(h, 1024) < distance_cost(h, 1024)
+
+    def test_pages_cost_identical(self):
+        # With distance far above the chunk size everything is 4KiB
+        # pages (chunk < 512); both variants agree.
+        h = Histogram([100])
+        assert inverse_coverage_cost(h, 65536) == distance_cost(h, 65536)
+
+    def test_cost_table_with_variant(self):
+        h = Histogram([64] * 3)
+        table = cost_table(h, cost_fn=inverse_coverage_cost)
+        assert set(table) == set(ANCHOR_DISTANCES)

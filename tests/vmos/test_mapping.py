@@ -1,0 +1,114 @@
+"""Tests for MemoryMapping and its chunk extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError, PageFaultError
+from repro.mem.frames import FrameRange
+from repro.vmos.mapping import MemoryMapping
+
+
+class TestMappingBasics:
+    def test_map_translate(self):
+        m = MemoryMapping()
+        m.map_page(10, 20)
+        assert m.translate(10) == 20
+        assert m.get(11) is None
+        assert 10 in m and 11 not in m
+
+    def test_double_map_rejected(self):
+        m = MemoryMapping()
+        m.map_page(1, 1)
+        with pytest.raises(MappingError):
+            m.map_page(1, 2)
+
+    def test_translate_unmapped_faults(self):
+        with pytest.raises(PageFaultError):
+            MemoryMapping().translate(5)
+
+    def test_map_run(self):
+        m = MemoryMapping()
+        m.map_run(100, FrameRange(500, 4))
+        assert [m.translate(100 + i) for i in range(4)] == [500, 501, 502, 503]
+
+    def test_unmap(self):
+        m = MemoryMapping()
+        m.map_page(1, 9)
+        assert m.unmap_page(1) == 9
+        assert 1 not in m
+        with pytest.raises(MappingError):
+            m.unmap_page(1)
+
+    def test_items_sorted(self):
+        m = MemoryMapping()
+        m.map_page(5, 50)
+        m.map_page(1, 10)
+        assert list(m.items()) == [(1, 10), (5, 50)]
+
+    def test_as_dict_is_copy(self):
+        m = MemoryMapping()
+        m.map_page(1, 2)
+        d = m.as_dict()
+        d[1] = 99
+        assert m.translate(1) == 2
+
+
+class TestChunks:
+    def test_single_chunk(self):
+        m = MemoryMapping()
+        m.map_run(10, FrameRange(100, 5))
+        chunks = m.chunks()
+        assert len(chunks) == 1
+        assert (chunks[0].vpn, chunks[0].pfn, chunks[0].pages) == (10, 100, 5)
+
+    def test_physical_break_splits(self):
+        m = MemoryMapping()
+        m.map_page(10, 100)
+        m.map_page(11, 200)
+        assert len(m.chunks()) == 2
+
+    def test_virtual_gap_splits(self):
+        m = MemoryMapping()
+        m.map_page(10, 100)
+        m.map_page(12, 101)
+        assert len(m.chunks()) == 2
+
+    def test_chunks_cache_invalidated_on_mutation(self):
+        m = MemoryMapping()
+        m.map_run(0, FrameRange(10, 4))
+        assert len(m.chunks()) == 1
+        m.map_page(4, 999)
+        assert len(m.chunks()) == 2
+        m.unmap_page(4)
+        assert len(m.chunks()) == 1
+
+    def test_chunk_covering(self):
+        m = MemoryMapping()
+        m.map_run(10, FrameRange(100, 5))
+        chunk = m.chunk_covering(12)
+        assert chunk is not None and chunk.vpn == 10
+        assert m.chunk_covering(99) is None
+
+    def test_descending_physical_not_merged(self):
+        m = MemoryMapping()
+        m.map_page(10, 101)
+        m.map_page(11, 100)
+        assert len(m.chunks()) == 2
+
+    @given(st.lists(st.integers(1, 12), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_property_chunks_partition_pages(self, sizes):
+        m = MemoryMapping()
+        vpn, pfn = 0, 10_000
+        for size in sizes:
+            m.map_run(vpn, FrameRange(pfn, size))
+            vpn += size + 1   # virtual gap
+            pfn += size + 7   # physical gap
+        chunks = m.chunks()
+        assert sum(c.pages for c in chunks) == m.mapped_pages
+        assert [c.pages for c in chunks] == sizes
+        # Every page translates consistently with its chunk.
+        for chunk in chunks:
+            for i in range(chunk.pages):
+                assert m.translate(chunk.vpn + i) == chunk.pfn + i

@@ -1,0 +1,129 @@
+"""Tests for the 4-level radix page table."""
+
+import pytest
+
+from repro.errors import MappingError, PageFaultError
+from repro.vmos.page_table import PageTable
+
+
+class TestMapWalk:
+    def test_map_and_walk_4k(self):
+        table = PageTable()
+        table.map_page(0x1234, 0x9999)
+        result = table.walk(0x1234)
+        assert result.pfn == 0x9999
+        assert not result.huge
+        assert result.leaf_vpn == 0x1234
+        assert result.memory_accesses == 4
+
+    def test_walk_unmapped_faults(self):
+        with pytest.raises(PageFaultError):
+            PageTable().walk(5)
+
+    def test_lookup_returns_none(self):
+        assert PageTable().lookup(5) is None
+
+    def test_double_map_rejected(self):
+        table = PageTable()
+        table.map_page(7, 1)
+        with pytest.raises(MappingError):
+            table.map_page(7, 2)
+
+    def test_vpn_range_checked(self):
+        with pytest.raises(ValueError):
+            PageTable().map_page(1 << 36, 0)
+        with pytest.raises(ValueError):
+            PageTable().walk(-1)
+
+    def test_map_and_walk_huge(self):
+        table = PageTable()
+        table.map_huge(512, 2048)
+        result = table.walk(512 + 37)
+        assert result.huge
+        assert result.pfn == 2048 + 37
+        assert result.leaf_vpn == 512
+        assert result.memory_accesses == 3
+
+    def test_huge_requires_alignment(self):
+        table = PageTable()
+        with pytest.raises(MappingError):
+            table.map_huge(5, 0)
+        with pytest.raises(MappingError):
+            table.map_huge(512, 5)
+
+    def test_huge_conflicts_with_4k(self):
+        table = PageTable()
+        table.map_page(513, 1)
+        with pytest.raises(MappingError):
+            table.map_huge(512, 1024)
+
+    def test_4k_under_huge_rejected(self):
+        table = PageTable()
+        table.map_huge(512, 1024)
+        with pytest.raises(MappingError):
+            table.map_page(513, 1)
+
+    def test_unmap(self):
+        table = PageTable()
+        table.map_page(3, 4)
+        table.unmap_page(3)
+        assert table.lookup(3) is None
+        assert table.leaf_count == 0
+
+    def test_unmap_missing_rejected(self):
+        with pytest.raises(MappingError):
+            PageTable().unmap_page(3)
+
+    def test_counts(self):
+        table = PageTable()
+        table.map_page(1, 1)
+        table.map_page(2, 2)
+        table.map_huge(1024, 4096)
+        assert table.leaf_count == 2
+        assert table.huge_leaf_count == 1
+
+
+class TestContiguity:
+    def test_set_and_walk_contiguity(self):
+        table = PageTable()
+        table.map_page(16, 100)
+        table.set_contiguity(16, 8)
+        assert table.walk(16).contiguity == 8
+
+    def test_set_on_missing_leaf_rejected(self):
+        with pytest.raises(MappingError):
+            PageTable().set_contiguity(16, 8)
+
+    def test_sweep_sets_aligned_and_clears_others(self):
+        table = PageTable()
+        for vpn in range(32, 48):
+            table.map_page(vpn, 1000 + vpn)
+        table.set_contiguity(33, 3)  # stale, unaligned for distance 8
+        visited = table.sweep_anchor_contiguity(8, {32: 8, 40: 8})
+        assert visited == 16
+        assert table.walk(32).contiguity == 8
+        assert table.walk(40).contiguity == 8
+        assert table.walk(33).contiguity == 0
+
+    def test_sweep_visits_all_leaves(self):
+        table = PageTable()
+        for vpn in list(range(16)) + list(range(4096, 4104)):
+            table.map_page(vpn, vpn)
+        assert table.sweep_anchor_contiguity(4, {}) == 24
+
+
+class TestIteration:
+    def test_iter_leaves_sorted(self):
+        table = PageTable()
+        table.map_page(99, 1)
+        table.map_page(3, 2)
+        table.map_huge(1024, 8192)
+        leaves = list(table.iter_leaves())
+        assert leaves == [(3, 2, False), (99, 1, False), (1024, 8192, True)]
+
+    def test_iter_spans_levels(self):
+        table = PageTable()
+        vpns = [0, 511, 512, 1 << 18, (1 << 27) + 5]
+        for vpn in vpns:
+            table.map_page(vpn, vpn + 7)
+        assert [v for v, _, _ in table.iter_leaves()] == sorted(vpns)

@@ -1,0 +1,47 @@
+"""Tests for the Process wrapper."""
+
+import pytest
+
+from repro.mem.frames import FrameRange
+from repro.vmos.mapping import MemoryMapping
+from repro.vmos.process import Process
+from repro.vmos.vma import VMA
+
+
+@pytest.fixture
+def process():
+    mapping = MemoryMapping(vmas=[VMA(0, 4096)])
+    mapping.map_run(0, FrameRange(1 << 16, 1024))
+    mapping.map_run(2048, FrameRange(1 << 18, 1024))
+    return Process(name="p", mapping=mapping, anchor_distance=8)
+
+
+class TestProcess:
+    def test_footprint(self, process):
+        assert process.footprint_pages == 2048
+
+    def test_histogram(self, process):
+        histogram = process.histogram()
+        assert histogram[1024] == 2
+
+    def test_reselect_changes_distance_and_charges(self, process):
+        distance, changed, cost = process.reselect_distance()
+        assert changed and cost > 0
+        assert process.anchor_distance == distance
+        assert distance >= 512
+
+    def test_reselect_stable_second_time(self, process):
+        process.reselect_distance()
+        _, changed, cost = process.reselect_distance()
+        assert not changed and cost == 0.0
+        assert len(process.shootdowns.distance_changes) == 1
+
+    def test_anchor_directory_uses_process_distance(self, process):
+        directory = process.anchor_directory()
+        assert directory.distance == process.anchor_distance
+        assert process.anchor_directory(64).distance == 64
+
+    def test_build_page_table_translates(self, process):
+        table = process.build_page_table()
+        for vpn, pfn in list(process.mapping.items())[:64]:
+            assert table.walk(vpn).pfn == pfn

@@ -1,0 +1,76 @@
+"""Tests for the packed PTE layout (paper Fig. 4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.params import MAX_CONTIGUITY
+from repro.vmos.pte import (
+    PTEFlags,
+    make_pte,
+    pte_contiguity,
+    pte_flags,
+    pte_huge,
+    pte_pfn,
+    pte_present,
+    with_contiguity,
+)
+
+
+class TestPTE:
+    def test_roundtrip_fields(self):
+        pte = make_pte(0x1234, PTEFlags.PRESENT | PTEFlags.WRITABLE, 77)
+        assert pte_pfn(pte) == 0x1234
+        assert pte_flags(pte) == PTEFlags.PRESENT | PTEFlags.WRITABLE
+        assert pte_contiguity(pte) == 77
+
+    def test_default_flags(self):
+        pte = make_pte(1)
+        assert pte_present(pte)
+        assert not pte_huge(pte)
+
+    def test_huge_flag(self):
+        pte = make_pte(512, PTEFlags.PRESENT | PTEFlags.HUGE)
+        assert pte_huge(pte)
+
+    def test_pfn_range_checked(self):
+        with pytest.raises(ValueError):
+            make_pte(-1)
+        with pytest.raises(ValueError):
+            make_pte(1 << 40)
+
+    def test_contiguity_range_checked(self):
+        with pytest.raises(ValueError):
+            make_pte(0, contiguity=-1)
+        with pytest.raises(ValueError):
+            make_pte(0, contiguity=MAX_CONTIGUITY + 1)
+
+    def test_max_contiguity_representable(self):
+        pte = make_pte(9, contiguity=MAX_CONTIGUITY)
+        assert pte_contiguity(pte) == MAX_CONTIGUITY
+
+    def test_with_contiguity_preserves_rest(self):
+        pte = make_pte(0x777, PTEFlags.PRESENT | PTEFlags.DIRTY, 5)
+        updated = with_contiguity(pte, 321)
+        assert pte_contiguity(updated) == 321
+        assert pte_pfn(updated) == 0x777
+        assert pte_flags(updated) == pte_flags(pte)
+
+    def test_with_contiguity_clears(self):
+        pte = make_pte(1, contiguity=42)
+        assert pte_contiguity(with_contiguity(pte, 0)) == 0
+
+    @given(
+        st.integers(0, (1 << 40) - 1),
+        st.integers(0, MAX_CONTIGUITY),
+        st.sampled_from([
+            PTEFlags.PRESENT,
+            PTEFlags.PRESENT | PTEFlags.WRITABLE,
+            PTEFlags.PRESENT | PTEFlags.USER | PTEFlags.ACCESSED,
+        ]),
+    )
+    def test_property_roundtrip(self, pfn, contiguity, flags):
+        pte = make_pte(pfn, flags, contiguity)
+        assert pte_pfn(pte) == pfn
+        assert pte_contiguity(pte) == contiguity
+        assert pte_flags(pte) == flags

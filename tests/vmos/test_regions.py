@@ -1,0 +1,82 @@
+"""Tests for multi-region anchors (paper §4.2 future work)."""
+
+import pytest
+
+from repro.mem.frames import FrameRange
+from repro.vmos.mapping import MemoryMapping
+from repro.vmos.regions import AnchorRegion, RegionTable, partition_regions
+from repro.vmos.vma import AllocationSite, layout_vmas
+
+
+class TestRegionTable:
+    def test_contains(self):
+        region = AnchorRegion(10, 20, 8)
+        assert 10 in region and 19 in region and 20 not in region
+
+    def test_install_and_lookup(self):
+        table = RegionTable(capacity=4)
+        table.install([AnchorRegion(0, 100, 8), AnchorRegion(100, 200, 64)])
+        assert table.distance_for(50, default=2) == 8
+        assert table.distance_for(150, default=2) == 64
+        assert table.distance_for(500, default=2) == 2
+
+    def test_capacity_enforced(self):
+        table = RegionTable(capacity=1)
+        with pytest.raises(ValueError):
+            table.install([AnchorRegion(0, 10, 2), AnchorRegion(10, 20, 4)])
+
+    def test_overlap_rejected(self):
+        table = RegionTable(capacity=4)
+        with pytest.raises(ValueError):
+            table.install([AnchorRegion(0, 15, 2), AnchorRegion(10, 20, 4)])
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RegionTable(capacity=0)
+
+
+def bimodal_mapping():
+    """A big contiguous VMA and several fragmented small VMAs."""
+    vmas = layout_vmas([AllocationSite(4096, 1), AllocationSite(64, 6)])
+    mapping = MemoryMapping(vmas=vmas)
+    big = vmas[0]
+    mapping.map_run(big.start_vpn, FrameRange(1 << 20, big.pages))
+    cursor = 1 << 22
+    for vma in vmas[1:]:
+        for vpn in range(vma.start_vpn, vma.end_vpn):
+            if (vpn - vma.start_vpn) % 4 == 0:
+                cursor += 9
+            mapping.map_page(vpn, cursor)
+            cursor += 1
+    return mapping, vmas
+
+
+class TestPartition:
+    def test_empty(self):
+        assert partition_regions(MemoryMapping(), []) == []
+
+    def test_bimodal_gets_two_distances(self):
+        mapping, vmas = bimodal_mapping()
+        regions = partition_regions(mapping, vmas, capacity=8)
+        distances = {r.distance for r in regions}
+        assert len(regions) >= 2
+        assert max(distances) >= 4096
+        assert min(distances) <= 8
+
+    def test_regions_sorted_disjoint(self):
+        mapping, vmas = bimodal_mapping()
+        regions = partition_regions(mapping, vmas, capacity=8)
+        for a, b in zip(regions, regions[1:]):
+            assert a.end_vpn <= b.start_vpn
+
+    def test_capacity_respected(self):
+        mapping, vmas = bimodal_mapping()
+        regions = partition_regions(mapping, vmas, capacity=2)
+        assert len(regions) <= 2
+
+    def test_adjacent_agreeing_vmas_merge(self):
+        mapping, vmas = bimodal_mapping()
+        regions = partition_regions(mapping, vmas, capacity=8)
+        # The six fragmented small VMAs agree on a small distance and
+        # should not occupy six separate regions.
+        assert len(regions) < len(vmas)

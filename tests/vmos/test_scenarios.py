@@ -1,0 +1,99 @@
+"""Tests for the six mapping scenario generators (Table 4)."""
+
+import pytest
+
+from repro.params import SCENARIO_ORDER
+from repro.util.rng import make_rng
+from repro.vmos.contiguity import contiguity_histogram, mean_chunk_pages
+from repro.vmos.mapping import MemoryMapping
+from repro.vmos.scenarios import (
+    build_mapping,
+    max_contiguity_mapping,
+    synthetic_mapping,
+)
+from repro.vmos.vma import AllocationSite, layout_vmas
+
+
+@pytest.fixture
+def vmas():
+    return layout_vmas([AllocationSite(2048, 1), AllocationSite(32, 4)])
+
+
+class TestSynthetic:
+    def test_chunk_sizes_within_range(self, vmas):
+        mapping = synthetic_mapping(vmas, make_rng(1), 4, 64)
+        for chunk in mapping.chunks():
+            assert chunk.pages <= 64
+
+    def test_all_pages_mapped_uniquely(self, vmas):
+        mapping = synthetic_mapping(vmas, make_rng(1), 1, 16)
+        assert mapping.mapped_pages == sum(v.pages for v in vmas)
+        frames = [pfn for _, pfn in mapping.items()]
+        assert len(set(frames)) == len(frames)
+
+    def test_guard_frames_prevent_merging(self, vmas):
+        mapping = synthetic_mapping(vmas, make_rng(2), 8, 8)
+        sizes = {c.pages for c in mapping.chunks()}
+        # Chunks of exactly 8 must not merge into 16+ accidentally.
+        assert max(sizes) <= 8
+
+    def test_phase_alignment_for_large_chunks(self, vmas):
+        mapping = synthetic_mapping(vmas, make_rng(3), 512, 1024)
+        big = [c for c in mapping.chunks() if c.pages >= 512]
+        assert big
+        for chunk in big:
+            assert (chunk.pfn - chunk.vpn) % 512 == 0
+
+    def test_invalid_range(self, vmas):
+        with pytest.raises(ValueError):
+            synthetic_mapping(vmas, make_rng(0), 0, 4)
+        with pytest.raises(ValueError):
+            synthetic_mapping(vmas, make_rng(0), 8, 4)
+
+
+class TestMaxContiguity:
+    def test_one_chunk_per_vma(self, vmas):
+        mapping = max_contiguity_mapping(vmas, make_rng(1))
+        assert len(mapping.chunks()) == len(vmas)
+
+    def test_chunks_match_vmas(self, vmas):
+        mapping = max_contiguity_mapping(vmas, make_rng(1))
+        sizes = sorted(c.pages for c in mapping.chunks())
+        assert sizes == sorted(v.pages for v in vmas)
+
+
+class TestBuildMapping:
+    @pytest.mark.parametrize("scenario", SCENARIO_ORDER)
+    def test_every_scenario_maps_everything(self, vmas, scenario):
+        mapping = build_mapping(vmas, scenario, seed=5)
+        assert mapping.mapped_pages == sum(v.pages for v in vmas)
+
+    def test_unknown_scenario(self, vmas):
+        with pytest.raises(ValueError):
+            build_mapping(vmas, "bogus")
+
+    def test_deterministic_in_seed(self, vmas):
+        a = build_mapping(vmas, "medium", seed=3)
+        b = build_mapping(vmas, "medium", seed=3)
+        assert a.as_dict() == b.as_dict()
+
+    def test_seed_changes_mapping(self, vmas):
+        a = build_mapping(vmas, "medium", seed=3)
+        b = build_mapping(vmas, "medium", seed=4)
+        assert a.as_dict() != b.as_dict()
+
+    def test_contiguity_ordering_across_scenarios(self, vmas):
+        means = {
+            scenario: mean_chunk_pages(build_mapping(vmas, scenario, seed=7))
+            for scenario in ("low", "medium", "high")
+        }
+        assert means["low"] < means["medium"] < means["high"]
+
+    def test_eager_at_least_as_contiguous_as_demand(self, vmas):
+        demand = build_mapping(vmas, "demand", seed=7)
+        eager = build_mapping(vmas, "eager", seed=7)
+        assert mean_chunk_pages(eager) >= mean_chunk_pages(demand)
+
+    def test_low_scenario_histogram_bounded(self, vmas):
+        histogram = contiguity_histogram(build_mapping(vmas, "low", seed=1))
+        assert max(size for size, _ in histogram.items()) <= 16

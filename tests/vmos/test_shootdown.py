@@ -1,0 +1,34 @@
+"""Tests for shootdown and distance-change bookkeeping."""
+
+import pytest
+
+from repro.vmos.shootdown import ShootdownLog
+
+
+class TestShootdownLog:
+    def test_record_unmap_counts_anchors(self):
+        log = ShootdownLog(cores=4)
+        event = log.record_unmap(pages=64, distance=16)
+        assert event.pages == 64
+        assert event.anchors == 6  # 64/16 + 2 boundary anchors
+        assert event.cores == 4
+
+    def test_total_shootdown_cost_scales_with_events(self):
+        log = ShootdownLog(cores=2)
+        log.record_unmap(4, 8)
+        one = log.total_shootdown_us
+        log.record_unmap(4, 8)
+        assert log.total_shootdown_us == pytest.approx(2 * one)
+
+    def test_distance_change_cost_accumulates(self):
+        log = ShootdownLog()
+        first = log.record_distance_change(1 << 20, 64)
+        second = log.record_distance_change(1 << 20, 8)
+        assert first > 0 and second > first  # smaller distance costs more
+        assert log.total_distance_change_ms == pytest.approx(first + second)
+        assert [d for d, _ in log.distance_changes] == [64, 8]
+
+    def test_empty_log(self):
+        log = ShootdownLog()
+        assert log.total_shootdown_us == 0.0
+        assert log.total_distance_change_ms == 0.0

@@ -1,0 +1,62 @@
+"""Tests for VMAs, allocation sites, and the layout engine."""
+
+import pytest
+
+from repro.vmos.vma import VMA, AllocationSite, VMAKind, layout_vmas
+
+
+class TestVMA:
+    def test_bounds(self):
+        vma = VMA(100, 10)
+        assert vma.end_vpn == 110
+        assert 100 in vma and 109 in vma and 110 not in vma
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VMA(-1, 5)
+        with pytest.raises(ValueError):
+            VMA(0, 0)
+
+
+class TestAllocationSite:
+    def test_totals(self):
+        site = AllocationSite(8, 4)
+        assert site.total_pages == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AllocationSite(0, 1)
+        with pytest.raises(ValueError):
+            AllocationSite(1, 0)
+
+
+class TestLayout:
+    def test_counts_and_sizes(self):
+        vmas = layout_vmas([AllocationSite(8, 3), AllocationSite(64, 1)])
+        assert len(vmas) == 4
+        assert sum(v.pages for v in vmas) == 88
+
+    def test_no_overlaps_and_guard_gaps(self):
+        vmas = layout_vmas([AllocationSite(8, 5), AllocationSite(32, 2)])
+        ordered = sorted(vmas, key=lambda v: v.start_vpn)
+        for a, b in zip(ordered, ordered[1:]):
+            assert b.start_vpn > a.end_vpn  # at least one guard page
+
+    def test_alignment_to_natural_size(self):
+        vmas = layout_vmas([AllocationSite(64, 4)])
+        for vma in vmas:
+            assert vma.start_vpn % 64 == 0
+
+    def test_large_regions_2mb_aligned(self):
+        vmas = layout_vmas([AllocationSite(4096, 2)])
+        for vma in vmas:
+            assert vma.start_vpn % 512 == 0
+
+    def test_kind_and_names(self):
+        vmas = layout_vmas([AllocationSite(4, 2, VMAKind.STACK)])
+        assert all(v.kind is VMAKind.STACK for v in vmas)
+        assert len({v.name for v in vmas}) == 2
+
+    def test_deterministic(self):
+        sites = [AllocationSite(8, 3), AllocationSite(128, 1)]
+        assert layout_vmas(sites) == layout_vmas(sites)
