@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Time the scalar engine against the batched engine on fixed seeds.
+
+Runs gups (uniform random, the TLB-hostile worst case) through each
+timed scheme under both engines, asserts the counter snapshots are
+bit-identical, and writes ``BENCH_engine.json`` next to the repo root:
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--references N]
+
+The JSON records per-scheme wall-clock seconds, references/second and
+the batched-over-scalar speedup; EXPERIMENTS.md documents the
+methodology and the acceptance threshold (>= 5x on base/gups at 1M
+references).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.schemes.registry import make_scheme
+from repro.sim.engine import simulate
+from repro.sim.workloads import get_workload
+from repro.vmos.scenarios import build_mapping
+
+TIMED_SCHEMES = ("base", "thp", "anchor-dyn", "anchor-region")
+MAPPING_SEED = 7
+TRACE_SEED = 11
+
+
+def bench_scheme(name: str, references: int, repeats: int) -> dict:
+    workload = get_workload("gups")
+    mapping = build_mapping(workload.vmas(), "demand", seed=MAPPING_SEED)
+    trace = workload.make_trace(references, seed=TRACE_SEED)
+    timings: dict[str, float] = {}
+    snapshots: dict[str, dict] = {}
+    for engine in ("scalar", "batched"):
+        best = float("inf")
+        for _ in range(repeats):
+            scheme = make_scheme(name, mapping)
+            start = time.perf_counter()
+            simulate(scheme, trace, engine=engine)
+            best = min(best, time.perf_counter() - start)
+        timings[engine] = best
+        snapshots[engine] = scheme.stats.snapshot()
+    if snapshots["scalar"] != snapshots["batched"]:
+        raise AssertionError(
+            f"{name}: engines disagree\n scalar : {snapshots['scalar']}"
+            f"\n batched: {snapshots['batched']}")
+    return {
+        "references": references,
+        "scalar_seconds": round(timings["scalar"], 4),
+        "batched_seconds": round(timings["batched"], 4),
+        "scalar_refs_per_sec": round(references / timings["scalar"]),
+        "batched_refs_per_sec": round(references / timings["batched"]),
+        "speedup": round(timings["scalar"] / timings["batched"], 2),
+        "stats": snapshots["batched"],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--references", type=int, default=1_000_000)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="runs per engine; the best time is kept")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_engine.json")
+    args = parser.parse_args()
+    if args.references <= 0 or args.repeats <= 0:
+        parser.error("--references and --repeats must be positive")
+
+    results = {"workload": "gups", "scenario": "demand",
+               "mapping_seed": MAPPING_SEED, "trace_seed": TRACE_SEED,
+               "schemes": {}}
+    for name in TIMED_SCHEMES:
+        entry = bench_scheme(name, args.references, args.repeats)
+        results["schemes"][name] = entry
+        print(f"{name:14s} scalar {entry['scalar_seconds']:7.3f}s"
+              f"  batched {entry['batched_seconds']:7.3f}s"
+              f"  speedup {entry['speedup']:5.2f}x")
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Bench: batched vs scalar engine throughput (writes BENCH_engine.json).
+
+Non-gating (``testpaths`` excludes ``benchmarks/``); run explicitly:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_engine_speed.py -m engine_bench
+
+Trace length follows ``REPRO_BENCH_REFS`` scaled up 4x (engine timing
+needs longer traces than the figure benches to amortise setup), so the
+default is 240k references — pass ``--references`` to
+``benchmarks/run_bench.py`` directly for the full 1M-reference runs
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import BENCH_REFERENCES
+from run_bench import TIMED_SCHEMES, bench_scheme
+
+pytestmark = pytest.mark.engine_bench
+
+
+@pytest.mark.parametrize("scheme_name", TIMED_SCHEMES)
+def test_engine_speedup(scheme_name, capfd):
+    entry = bench_scheme(scheme_name, BENCH_REFERENCES * 4, repeats=1)
+    with capfd.disabled():
+        print(f"\n{scheme_name}: scalar {entry['scalar_seconds']}s, "
+              f"batched {entry['batched_seconds']}s, "
+              f"speedup {entry['speedup']}x")
+    # Parity is asserted inside bench_scheme; the batched engine must
+    # also never be slower than scalar on these workloads.
+    assert entry["speedup"] >= 1.0
+
+
+def test_write_bench_json(tmp_path):
+    # Smoke-check the JSON writer on a short trace.
+    out = {"schemes": {n: bench_scheme(n, 20_000, repeats=1)
+                       for n in TIMED_SCHEMES[:1]}}
+    path = tmp_path / "BENCH_engine.json"
+    path.write_text(json.dumps(out, indent=2))
+    assert json.loads(path.read_text())["schemes"]["base"]["speedup"] > 0

@@ -44,3 +44,15 @@ class L1TLB:
         self.small.flush()
         self.huge.flush()
         self.giga.flush()
+
+    def state(self) -> dict[str, list]:
+        """Replacement state of all three arrays (LRU -> MRU per set).
+
+        Used by the parity suite to compare the batched engine's final
+        hardware state against the scalar engine's, entry for entry.
+        """
+        return {
+            "small": self.small.state(),
+            "huge": self.huge.state(),
+            "giga": self.giga.state(),
+        }

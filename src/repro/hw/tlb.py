@@ -66,6 +66,15 @@ class SetAssociativeTLB:
     def keys(self) -> list[int]:
         return [key for bucket in self._sets for key in bucket]
 
+    def state(self) -> list[list[tuple[int, object]]]:
+        """Per-set ``(key, value)`` pairs in LRU -> MRU order.
+
+        The exact replacement state, used by the engine parity suite to
+        assert that the batched fast path leaves the array bit-identical
+        to the scalar walk.
+        """
+        return [list(bucket.items()) for bucket in self._sets]
+
 
 class FullyAssociativeTLB:
     """A fully associative array with true LRU (used by the range TLB)."""

@@ -23,10 +23,19 @@ distance-change cost), and fixed-distance instances are used by the
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import PageFaultError
 from repro.params import DEFAULT_MACHINE, MachineConfig
-from repro.hw.anchor_tlb import AnchorL2TLB
+from repro.hw.anchor_tlb import KIND_ANCHOR, KIND_HUGE, AnchorL2TLB
 from repro.schemes.base import TranslationScheme
+from repro.sim.lru import (
+    collapse_runs,
+    isin_sorted,
+    lookup_sorted,
+    simulate_block,
+    sorted_arrays,
+)
 from repro.vmos.anchor import AnchorDirectory
 from repro.vmos.contiguity import contiguity_histogram
 from repro.vmos.distance import select_distance
@@ -40,6 +49,7 @@ class AnchorScheme(TranslationScheme):
     """Hybrid coalescing with a process-wide anchor distance."""
 
     name = "anchor"
+    supports_reselection = True
 
     def __init__(
         self,
@@ -59,6 +69,7 @@ class AnchorScheme(TranslationScheme):
         self.directory = AnchorDirectory.build(mapping, distance, enable_thp)
         self.l2 = AnchorL2TLB(config, distance)
         self._dlog = distance.bit_length() - 1
+        self._block_cache = None
 
     # ------------------------------------------------------------------
 
@@ -114,6 +125,144 @@ class AnchorScheme(TranslationScheme):
         return self._walk_cycles(vpn)
 
     # ------------------------------------------------------------------
+    # Batched fast path
+    # ------------------------------------------------------------------
+
+    def _directory_arrays(self):
+        """Sorted-array views of the coverage plan, rebuilt lazily after
+        any OS-side update (reselect, map/unmap/protect, rebuild)."""
+        if self._block_cache is None:
+            directory = self.directory
+            hg = sorted_arrays(directory.huge)
+            sm = sorted_arrays(directory.small)
+            an = sorted_arrays(directory.anchor_contiguity)
+            # Every anchor sits on a 4 KiB leaf by construction; if that
+            # ever broke, the block path could not resolve APPNs safely.
+            anchors_ok = bool(isin_sorted(sm[0], an[0]).all())
+            self._block_cache = (hg, sm, an, anchors_ok)
+        return self._block_cache
+
+    def _invalidate_block_cache(self) -> None:
+        self._block_cache = None
+
+    def access_block(self, vpns: np.ndarray) -> None:
+        """Vectorised fast path.
+
+        The L1 arrays are promote-or-insert LRU (every head is filled
+        with its directory translation whatever the L2 outcome), so both
+        resolve with :func:`simulate_block`.  The shared L2 is *not*:
+        a small-page miss may fill the anchor entry instead of the
+        probed key, and the anchor probe touches a different key than
+        the walk fills — so the L1 misses replay through an exact
+        Python loop over the array's buckets, with every per-reference
+        directory lookup (class, AVPN, contiguity, APPN, PFN) hoisted
+        into numpy up front.
+        """
+        if self.pwc is not None or vpns.shape[0] == 0:
+            return super().access_block(vpns)
+        (hg_keys, hg_vals), (sm_keys, sm_vals), (an_keys, an_vals), ok = (
+            self._directory_arrays())
+        if not ok:
+            return super().access_block(vpns)
+        heads = collapse_runs(vpns)
+        n = vpns.shape[0]
+        hvpn = heads >> _HUGE_SHIFT
+        hbase, is_huge = lookup_sorted(hg_keys, hg_vals, hvpn << _HUGE_SHIFT)
+        is_small = ~is_huge
+        small_heads = heads[is_small]
+        pfn_sm, found = lookup_sorted(sm_keys, sm_vals, small_heads)
+        if not found.all():
+            # An unmapped page: the scalar loop faults at the right spot.
+            return super().access_block(vpns)
+
+        directory = self.directory
+        huge = directory.huge
+        hit1 = np.empty(heads.shape[0], dtype=bool)
+        hit1[is_small] = simulate_block(
+            self.l1.small, small_heads, small_heads,
+            directory.small.__getitem__)
+        hv = hvpn[is_huge]
+        huge_value = lambda h: huge[h << _HUGE_SHIFT]  # noqa: E731
+        hit1[is_huge] = simulate_block(self.l1.huge, hv, hv, huge_value)
+
+        # Per-L1-miss precomputation, then the exact L2 replay.
+        miss = ~hit1
+        dlog = self._dlog
+        imask = self.l2.array.index_mask
+        ways = self.l2.array.ways
+        buckets = self.l2.array._sets
+        mk = heads[miss]
+        avpn = mk >> dlog << dlog
+        cont, _ = lookup_sorted(an_keys, an_vals, avpn)
+        appn, _ = lookup_sorted(sm_keys, sm_vals, avpn)
+        pfn_heads = np.zeros(heads.shape[0], dtype=np.int64)
+        pfn_heads[is_small] = pfn_sm
+        l2_small = l2_huge = coalesced = walks = 0
+        rows = zip(
+            mk.tolist(),
+            is_huge[miss].tolist(),
+            (hvpn[miss] & imask).tolist(),
+            hbase[miss].tolist(),
+            avpn.tolist(),
+            ((mk >> dlog) & imask).tolist(),
+            cont.tolist(),
+            appn.tolist(),
+            pfn_heads[miss].tolist(),
+        )
+        for vpn, huge_row, hidx, hb, av, aidx, cont_d, ap, pfn in rows:
+            if huge_row:
+                bucket = buckets[hidx]
+                key = (vpn >> _HUGE_SHIFT << 2) | KIND_HUGE
+                value = bucket.get(key)
+                if value is not None:
+                    del bucket[key]
+                    bucket[key] = value
+                    l2_huge += 1
+                else:
+                    walks += 1
+                    if len(bucket) >= ways:
+                        del bucket[next(iter(bucket))]
+                    bucket[key] = hb
+                continue
+            bucket = buckets[vpn & imask]
+            skey = vpn << 2  # | KIND_SMALL
+            value = bucket.get(skey)
+            if value is not None:
+                del bucket[skey]
+                bucket[skey] = value
+                l2_small += 1
+                continue
+            abucket = buckets[aidx]
+            akey = (av << 2) | KIND_ANCHOR
+            entry = abucket.get(akey)
+            if entry is not None:
+                # The probe touches LRU even when contiguity misses.
+                del abucket[akey]
+                abucket[akey] = entry
+                if vpn - av < entry[1]:
+                    coalesced += 1
+                    continue
+            walks += 1
+            if vpn - av < cont_d:
+                if akey in abucket:
+                    del abucket[akey]
+                elif len(abucket) >= ways:
+                    del abucket[next(iter(abucket))]
+                abucket[akey] = (ap, cont_d)
+            else:
+                if len(bucket) >= ways:
+                    del bucket[next(iter(bucket))]
+                bucket[skey] = pfn
+        self.stats.bulk_update(
+            accesses=n,
+            l1_hits=n - heads.shape[0] + int(np.count_nonzero(hit1)),
+            l2_small_hits=l2_small,
+            l2_huge_hits=l2_huge,
+            coalesced_hits=coalesced,
+            walks=walks,
+        )
+
+    # ------------------------------------------------------------------
     # Dynamic distance management (epoch boundary hook)
     # ------------------------------------------------------------------
 
@@ -132,6 +281,7 @@ class AnchorScheme(TranslationScheme):
         self.shootdowns.record_distance_change(self.mapping.mapped_pages, picked)
         self.directory = AnchorDirectory.build(self.mapping, picked, self.enable_thp)
         self._dlog = picked.bit_length() - 1
+        self._invalidate_block_cache()
         self.l2.set_distance(picked)
         self.l1.flush()
         return picked, True
@@ -142,6 +292,7 @@ class AnchorScheme(TranslationScheme):
     # ------------------------------------------------------------------
 
     def _shootdown_page(self, vpn: int, anchors: list[int]) -> None:
+        self._invalidate_block_cache()
         self.l1.small.invalidate(vpn, vpn)
         self.l2.invalidate_small(vpn)
         for avpn in anchors:
@@ -178,6 +329,7 @@ class AnchorScheme(TranslationScheme):
         self.mapping = mapping
         self._ground_truth = mapping.as_dict()
         self.directory = AnchorDirectory.build(mapping, self.distance, self.enable_thp)
+        self._invalidate_block_cache()
         self.flush()
 
     def translate(self, vpn: int) -> int:

@@ -2,15 +2,30 @@
 
 A scheme is the pairing of a hardware TLB organisation with the OS
 coverage plan it needs (huge-page promotion, anchors, ranges).  The
-simulator calls :meth:`access` once per memory reference; the return
-value is the translation latency in cycles charged to that reference
-(0 for an L1 hit, since the L1 probe overlaps the cache access).
+simulator calls :meth:`access` once per memory reference — or
+:meth:`access_block` for a whole epoch at a time — and the scheme
+updates its :class:`TranslationStats`.  ``access`` returns the
+translation latency in cycles charged to that reference (0 for an L1
+hit, since the L1 probe overlaps the cache access).
+
+Two declared capabilities replace the old duck typing:
+
+* ``supports_reselection`` — the scheme implements the
+  :class:`OSManagedScheme` protocol, i.e. it owns an OS coverage plan
+  that the engine should re-evaluate at epoch boundaries by calling
+  ``reselect_distance()`` (paper §4.1, Algorithm 1 per epoch);
+* ``distance`` — the scheme's anchor distance, if it has one, reported
+  in :class:`repro.sim.engine.SimulationResult`.
 """
 
 from __future__ import annotations
 
 import abc
+import warnings
 from collections.abc import Iterable
+from typing import Protocol, runtime_checkable
+
+import numpy as np
 
 from repro.errors import PageFaultError
 from repro.params import DEFAULT_MACHINE, HUGE_PAGE_PAGES, MachineConfig
@@ -20,11 +35,35 @@ from repro.sim.stats import TranslationStats
 from repro.vmos.mapping import MemoryMapping
 
 
+@runtime_checkable
+class OSManagedScheme(Protocol):
+    """A scheme whose OS coverage plan is re-evaluated per epoch.
+
+    The engine checks ``scheme.supports_reselection`` (a declared class
+    attribute, not a ``getattr`` probe) and, when true, calls
+    ``reselect_distance()`` at every epoch boundary.  The method
+    returns ``(distance, changed)``; a change means the OS re-planned
+    coverage and flushed the TLBs (§3.3's distance-change cost).
+    """
+
+    supports_reselection: bool
+
+    def reselect_distance(self) -> tuple[int, bool]: ...
+
+
 class TranslationScheme(abc.ABC):
     """Base class for all translation schemes."""
 
     #: Short identifier used in reports (matches the paper's legends).
     name: str = "abstract"
+
+    #: True when the scheme implements :class:`OSManagedScheme` and
+    #: wants the engine's epoch-boundary ``reselect_distance()`` call.
+    supports_reselection: bool = False
+
+    #: The scheme's anchor distance, if it has one (``None`` otherwise);
+    #: anchor schemes override this with a property.
+    distance: int | None = None
 
     def __init__(
         self,
@@ -44,8 +83,36 @@ class TranslationScheme(abc.ABC):
     def access(self, vpn: int) -> int:
         """Translate one reference; update stats; return cycles charged."""
 
+    def access_block(self, vpns: np.ndarray) -> None:
+        """Translate a block of references in trace order.
+
+        Semantically identical to calling :meth:`access` on every
+        element.  Hot schemes override this with vectorised fast paths;
+        overrides must stay bit-identical to the scalar loop (the
+        parity suite in ``tests/sim/test_engine_parity.py`` enforces
+        it) and must fall back to this implementation whenever an exact
+        fast path is unavailable (page-walk caches enabled, unmapped
+        pages in the block).
+        """
+        access = self.access
+        for vpn in vpns.tolist():
+            access(vpn)
+
     def run(self, trace: Iterable[int]) -> TranslationStats:
-        """Drive a whole trace through the scheme."""
+        """Deprecated: drive traces through ``repro.sim.engine.simulate``.
+
+        ``run()`` predates the engine: it skips epochs (so OS-managed
+        schemes never re-plan coverage) and checks conservation with
+        different timing than ``simulate()``.  It remains only as a
+        shim for old call sites.
+        """
+        warnings.warn(
+            "TranslationScheme.run() is deprecated; use "
+            "repro.sim.engine.simulate(scheme, trace), which drives "
+            "epochs and the batched fast path",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         access = self.access
         for vpn in trace:
             access(int(vpn))

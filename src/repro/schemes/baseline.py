@@ -7,10 +7,13 @@ experiments are reported relative to this scheme.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import PageFaultError
 from repro.params import DEFAULT_MACHINE, MachineConfig
 from repro.hw.tlb import SetAssociativeTLB
 from repro.schemes.base import TranslationScheme
+from repro.sim.lru import SortedMembership, collapse_runs, simulate_block
 from repro.vmos.mapping import MemoryMapping
 
 
@@ -27,6 +30,7 @@ class BaselineScheme(TranslationScheme):
         super().__init__(mapping, config)
         self.l2 = SetAssociativeTLB(config.l2.entries, config.l2.ways)
         self._small = mapping.as_dict()
+        self._mapped: SortedMembership | None = None
 
     def access(self, vpn: int) -> int:
         stats = self.stats
@@ -46,6 +50,32 @@ class BaselineScheme(TranslationScheme):
         self.l2.insert(vpn, vpn, pfn)
         self.l1.fill_small(vpn, pfn)
         return self._walk_cycles(vpn)
+
+    def access_block(self, vpns: np.ndarray) -> None:
+        """Vectorised fast path: both levels are plain promote-or-insert
+        LRU arrays keyed by the VPN, so the whole block resolves with
+        two :func:`simulate_block` passes (L1, then the L1 misses
+        through the L2)."""
+        if self.pwc is not None or vpns.shape[0] == 0:
+            return super().access_block(vpns)
+        heads = collapse_runs(vpns)
+        if self._mapped is None:
+            self._mapped = SortedMembership(self._small)
+        if not self._mapped.contains_all(heads):
+            # An unmapped page in the block: the scalar loop raises the
+            # page fault at exactly the right reference.
+            return super().access_block(vpns)
+        small = self._small
+        hit1 = simulate_block(self.l1.small, heads, heads, small.__getitem__)
+        miss1 = heads[~hit1]
+        hit2 = simulate_block(self.l2, miss1, miss1, small.__getitem__)
+        l2_hits = int(np.count_nonzero(hit2))
+        self.stats.bulk_update(
+            accesses=vpns.shape[0],
+            l1_hits=vpns.shape[0] - heads.shape[0] + int(np.count_nonzero(hit1)),
+            l2_small_hits=l2_hits,
+            walks=miss1.shape[0] - l2_hits,
+        )
 
     def translate(self, vpn: int) -> int:
         pfn = self._small.get(vpn)

@@ -16,11 +16,20 @@ distance shift, exactly as the §4.2 hardware would.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import PageFaultError
 from repro.params import DEFAULT_MACHINE, MachineConfig
 from repro.hw.anchor_tlb import KIND_ANCHOR, KIND_HUGE, KIND_SMALL
 from repro.hw.tlb import SetAssociativeTLB
 from repro.schemes.base import TranslationScheme
+from repro.sim.lru import (
+    collapse_runs,
+    isin_sorted,
+    lookup_sorted,
+    simulate_block,
+    sorted_arrays,
+)
 from repro.vmos.anchor import AnchorDirectory
 from repro.vmos.mapping import MemoryMapping
 from repro.vmos.regions import AnchorRegion, partition_regions
@@ -70,6 +79,7 @@ class RegionAnchorScheme(TranslationScheme):
                 AnchorDirectory.build(slice_mapping, region.distance)
             )
             self._dlogs.append(region.distance.bit_length() - 1)
+        self._block_cache = None
 
     # ------------------------------------------------------------------
 
@@ -136,6 +146,154 @@ class RegionAnchorScheme(TranslationScheme):
             self.l2.insert(vpn, (vpn << 2) | KIND_SMALL, pfn)
         self.l1.fill_small(vpn, pfn)
         return self._walk_cycles(vpn)
+
+    # ------------------------------------------------------------------
+    # Batched fast path
+    # ------------------------------------------------------------------
+
+    def _merged_arrays(self):
+        """Region table + merged directory views (static after __init__).
+
+        The per-region directories merge safely: a promoted huge window
+        or an anchor's contiguity run lies entirely inside its region's
+        leaves (regions are disjoint in VPN space), so a covering entry
+        found in the merged dict always belongs to the probing VPN's own
+        region, and a non-covering one yields the same walk decision as
+        a per-region miss.
+        """
+        if self._block_cache is None:
+            huge: dict[int, int] = {}
+            small: dict[int, int] = {}
+            anchors: dict[int, int] = {}
+            for directory in self._directories:
+                huge.update(directory.huge)
+                small.update(directory.small)
+                anchors.update(directory.anchor_contiguity)
+            hg = sorted_arrays(huge)
+            sm = sorted_arrays(small)
+            an = sorted_arrays(anchors)
+            anchors_ok = bool(isin_sorted(sm[0], an[0]).all())
+            self._block_cache = (
+                np.asarray([r.start_vpn for r in self.regions], dtype=np.int64),
+                np.asarray([r.end_vpn for r in self.regions], dtype=np.int64),
+                np.asarray(self._dlogs, dtype=np.int64),
+                hg, sm, an, huge, small, anchors_ok,
+            )
+        return self._block_cache
+
+    def access_block(self, vpns: np.ndarray) -> None:
+        """Vectorised fast path (same structure as ``AnchorScheme``).
+
+        The region-table lookup, page-size class, AVPN (with the
+        per-region distance) and walk-time directory reads are hoisted
+        into numpy; the L1 arrays run through
+        :func:`repro.sim.lru.simulate_block`; the shared L2 — whose
+        conditional anchor-vs-small fills break the promote-or-insert
+        property — replays exactly in a Python loop.
+        """
+        if self.pwc is not None or vpns.shape[0] == 0:
+            return super().access_block(vpns)
+        starts, ends, dlogs, hg, sm, an, huge_d, small_d, ok = (
+            self._merged_arrays())
+        if not ok or starts.size == 0:
+            return super().access_block(vpns)
+        heads = collapse_runs(vpns)
+        n = vpns.shape[0]
+        ridx = np.searchsorted(starts, heads, side="right") - 1
+        if int(ridx.min()) < 0 or not bool((heads < ends[ridx]).all()):
+            # A page outside every region: the scalar loop faults there.
+            return super().access_block(vpns)
+        hvpn = heads >> _HUGE_SHIFT
+        hbase, is_huge = lookup_sorted(hg[0], hg[1], hvpn << _HUGE_SHIFT)
+        is_small = ~is_huge
+        small_heads = heads[is_small]
+        pfn_sm, found = lookup_sorted(sm[0], sm[1], small_heads)
+        if not found.all():
+            return super().access_block(vpns)
+
+        small_value = small_d.__getitem__
+        huge_value = lambda h: huge_d[h << _HUGE_SHIFT]  # noqa: E731
+        hit1 = np.empty(heads.shape[0], dtype=bool)
+        hit1[is_small] = simulate_block(
+            self.l1.small, small_heads, small_heads, small_value)
+        hv = hvpn[is_huge]
+        hit1[is_huge] = simulate_block(self.l1.huge, hv, hv, huge_value)
+
+        miss = ~hit1
+        imask = self.l2.index_mask
+        ways = self.l2.ways
+        buckets = self.l2._sets
+        mk = heads[miss]
+        dlog = dlogs[ridx[miss]]
+        avpn = mk >> dlog << dlog
+        cont, _ = lookup_sorted(an[0], an[1], avpn)
+        appn, _ = lookup_sorted(sm[0], sm[1], avpn)
+        pfn_heads = np.zeros(heads.shape[0], dtype=np.int64)
+        pfn_heads[is_small] = pfn_sm
+        l2_small = l2_huge = coalesced = walks = 0
+        rows = zip(
+            mk.tolist(),
+            is_huge[miss].tolist(),
+            hbase[miss].tolist(),
+            avpn.tolist(),
+            ((avpn >> dlog) & imask).tolist(),
+            cont.tolist(),
+            appn.tolist(),
+            pfn_heads[miss].tolist(),
+        )
+        for vpn, huge_row, hb, av, aidx, cont_d, ap, pfn in rows:
+            if huge_row:
+                hv_i = vpn >> _HUGE_SHIFT
+                bucket = buckets[hv_i & imask]
+                key = (hv_i << 2) | KIND_HUGE
+                value = bucket.get(key)
+                if value is not None:
+                    del bucket[key]
+                    bucket[key] = value
+                    l2_huge += 1
+                else:
+                    walks += 1
+                    if len(bucket) >= ways:
+                        del bucket[next(iter(bucket))]
+                    bucket[key] = hb
+                continue
+            bucket = buckets[vpn & imask]
+            skey = (vpn << 2) | KIND_SMALL
+            value = bucket.get(skey)
+            if value is not None:
+                del bucket[skey]
+                bucket[skey] = value
+                l2_small += 1
+                continue
+            abucket = buckets[aidx]
+            akey = (av << 2) | KIND_ANCHOR
+            entry = abucket.get(akey)
+            if entry is not None:
+                # The probe touches LRU even when contiguity misses.
+                del abucket[akey]
+                abucket[akey] = entry
+                if vpn - av < entry[1]:
+                    coalesced += 1
+                    continue
+            walks += 1
+            if vpn - av < cont_d:
+                if akey in abucket:
+                    del abucket[akey]
+                elif len(abucket) >= ways:
+                    del abucket[next(iter(abucket))]
+                abucket[akey] = (ap, cont_d)
+            else:
+                if len(bucket) >= ways:
+                    del bucket[next(iter(bucket))]
+                bucket[skey] = pfn
+        self.stats.bulk_update(
+            accesses=n,
+            l1_hits=n - heads.shape[0] + int(np.count_nonzero(hit1)),
+            l2_small_hits=l2_small,
+            l2_huge_hits=l2_huge,
+            coalesced_hits=coalesced,
+            walks=walks,
+        )
 
     def translate(self, vpn: int) -> int:
         index = self._region_index(vpn)

@@ -9,6 +9,8 @@ chunks — the scheme is almost inert under the low/medium scenarios.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import PageFaultError
 from repro.params import DEFAULT_MACHINE, MachineConfig
 from repro.hw.tlb import SetAssociativeTLB
@@ -17,6 +19,7 @@ from repro.schemes.base import (
     promote_giga_pages,
     promote_huge_pages,
 )
+from repro.sim.lru import SortedMembership, collapse_runs, simulate_block
 from repro.vmos.mapping import MemoryMapping
 
 _HUGE_SHIFT = 9
@@ -62,6 +65,7 @@ class THPScheme(TranslationScheme):
         else:
             self._giga = {}
             self._huge, self._small = promote_huge_pages(mapping)
+        self._memberships: tuple[SortedMembership, ...] | None = None
 
     def access(self, vpn: int) -> int:
         stats = self.stats
@@ -112,6 +116,87 @@ class THPScheme(TranslationScheme):
         self.l2.insert(vpn, (vpn << 1) | _KIND_SMALL, pfn)
         self.l1.fill_small(vpn, pfn)
         return self._walk_cycles(vpn)
+
+    def access_block(self, vpns: np.ndarray) -> None:
+        """Vectorised fast path.
+
+        Page-size classification is static (the promotion maps never
+        change), so each reference's L1 array and L2 key are known up
+        front; every probe then promotes-or-inserts its own key, which
+        is exactly what :func:`simulate_block` models.  The shared L2
+        sees the 4 KiB and 2 MiB streams interleaved in original order.
+        """
+        if self.pwc is not None or vpns.shape[0] == 0:
+            return super().access_block(vpns)
+        if self._memberships is None:
+            self._memberships = (
+                SortedMembership(self._small),
+                SortedMembership(self._huge),
+                SortedMembership(self._giga),
+            )
+        small_map, huge_map, giga_map = self._memberships
+        heads = collapse_runs(vpns)
+        hvpn = heads >> _HUGE_SHIFT
+        is_huge = huge_map.mask(hvpn << _HUGE_SHIFT)
+        if self._giga:
+            gvpn = heads >> _GIGA_SHIFT
+            is_giga = giga_map.mask(gvpn << _GIGA_SHIFT)
+            is_huge &= ~is_giga
+        else:
+            is_giga = None
+        is_small = ~is_huge if is_giga is None else ~(is_huge | is_giga)
+        small_heads = heads[is_small]
+        if not small_map.contains_all(small_heads):
+            # An unmapped page: the scalar loop faults at the right spot.
+            return super().access_block(vpns)
+
+        small = self._small
+        huge = self._huge
+        hit1 = np.empty(heads.shape[0], dtype=bool)
+        hit1[is_small] = simulate_block(
+            self.l1.small, small_heads, small_heads, small.__getitem__)
+        hv = hvpn[is_huge]
+        huge_value = lambda h: huge[h << _HUGE_SHIFT]  # noqa: E731
+        hit1[is_huge] = simulate_block(self.l1.huge, hv, hv, huge_value)
+        l2_giga_hits = 0
+        giga_walks = 0
+        if is_giga is not None:
+            giga = self._giga
+            gv = gvpn[is_giga]
+            giga_value = lambda g: giga[g << _GIGA_SHIFT]  # noqa: E731
+            hit1_g = simulate_block(self.l1.giga, gv, gv, giga_value)
+            hit1[is_giga] = hit1_g
+            g_miss = gv[~hit1_g]
+            hit2_g = simulate_block(self.l2_giga, g_miss, g_miss, giga_value)
+            l2_giga_hits = int(np.count_nonzero(hit2_g))
+            giga_walks = g_miss.shape[0] - l2_giga_hits
+
+        # Shared L2: 4 KiB and 2 MiB L1 misses in original order, with
+        # the entry kind packed below the (h)VPN exactly like access().
+        shared = ~hit1
+        if is_giga is not None:
+            shared &= ~is_giga
+        l2_keys = np.where(
+            is_huge, (hvpn << 1) | _KIND_HUGE, heads << 1)[shared]
+        l2_sets = np.where(is_huge, hvpn, heads)[shared]
+        hit2 = simulate_block(self.l2, l2_sets, l2_keys, self._l2_value)
+        huge_kind = (l2_keys & 1).astype(bool)
+        l2_small_hits = int(np.count_nonzero(hit2 & ~huge_kind))
+        l2_huge_hits = int(np.count_nonzero(hit2 & huge_kind))
+        self.stats.bulk_update(
+            accesses=vpns.shape[0],
+            l1_hits=(vpns.shape[0] - heads.shape[0]
+                     + int(np.count_nonzero(hit1))),
+            l2_small_hits=l2_small_hits,
+            l2_huge_hits=l2_huge_hits + l2_giga_hits,
+            walks=(l2_keys.shape[0] - l2_small_hits - l2_huge_hits
+                   + giga_walks),
+        )
+
+    def _l2_value(self, key: int):
+        if key & 1:
+            return self._huge[(key >> 1) << _HUGE_SHIFT]
+        return self._small[key >> 1]
 
     def translate(self, vpn: int) -> int:
         giga_base = self._giga.get((vpn >> _GIGA_SHIFT) << _GIGA_SHIFT)

@@ -6,6 +6,14 @@ billion instructions in the paper; a configurable reference count
 here).  The engine also exposes an ``on_epoch`` hook so experiments can
 mutate the mapping mid-run (allocation churn) and measure how the
 dynamic selection reacts.
+
+Each epoch is handed to the scheme as one block
+(``scheme.access_block``), so schemes with vectorised fast paths
+resolve it at numpy speed; ``engine="scalar"`` forces the per-reference
+loop, which the parity suite uses as the bit-identical reference.
+Schemes participating in the epoch-boundary re-planning declare it via
+``supports_reselection`` (the :class:`repro.schemes.base.OSManagedScheme`
+protocol) instead of being probed by ``getattr``.
 """
 
 from __future__ import annotations
@@ -33,6 +41,9 @@ class SimulationResult:
     anchor_distance: int | None = None
     distance_changes: int = 0
     epochs: int = 1
+    #: Cumulative counter snapshots taken at the end of every epoch
+    #: (``stats.snapshot()`` dicts); the last one equals the final stats.
+    epoch_stats: list = field(default_factory=list)
     extras: dict = field(default_factory=dict)
 
     @property
@@ -49,14 +60,58 @@ class SimulationResult:
             return 0.0 if self.stats.walks == 0 else float("inf")
         return 100.0 * self.stats.walks / baseline.stats.walks
 
+    # ------------------------------------------------------------------
+    # Serialisation (JSON emission from benchmarks and the CLI)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Round-trippable dict form (see :meth:`from_dict`).
+
+        ``extras`` is carried verbatim; callers that want JSON must put
+        only JSON-safe values there.
+        """
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "stats": self.stats.to_dict(),
+            "instructions": self.instructions,
+            "anchor_distance": self.anchor_distance,
+            "distance_changes": self.distance_changes,
+            "epochs": self.epochs,
+            "epoch_stats": [dict(s) for s in self.epoch_stats],
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationResult":
+        return cls(
+            scheme=payload["scheme"],
+            workload=payload["workload"],
+            stats=TranslationStats.from_dict(payload["stats"]),
+            instructions=payload["instructions"],
+            anchor_distance=payload.get("anchor_distance"),
+            distance_changes=payload.get("distance_changes", 0),
+            epochs=payload.get("epochs", 1),
+            epoch_stats=[dict(s) for s in payload.get("epoch_stats", [])],
+            extras=dict(payload.get("extras", {})),
+        )
+
 
 def simulate(
     scheme,
     trace: Trace,
     epoch_references: int | None = DEFAULT_EPOCH_REFERENCES,
     on_epoch: Callable[[int, object], None] | None = None,
+    engine: str = "batched",
 ) -> SimulationResult:
-    """Run ``trace`` through ``scheme``, epoch by epoch."""
+    """Run ``trace`` through ``scheme``, epoch by epoch.
+
+    ``engine`` selects how each epoch's block is resolved:
+    ``"batched"`` (default) calls ``scheme.access_block`` — the
+    vectorised fast path where the scheme has one — while ``"scalar"``
+    forces the per-reference ``access`` loop.  Both produce
+    bit-identical :class:`TranslationStats`.
+    """
     vpns = trace.vpns
     total = len(vpns)
     if epoch_references is None or epoch_references >= total:
@@ -64,22 +119,31 @@ def simulate(
     if epoch_references <= 0:
         raise ValueError("epoch_references must be positive")
 
-    access = scheme.access
+    if engine == "batched":
+        step = scheme.access_block
+    elif engine == "scalar":
+        def step(block) -> None:
+            access = scheme.access
+            for vpn in block.tolist():
+                access(vpn)
+    else:
+        raise ValueError(f"unknown engine {engine!r} (batched or scalar)")
+
     epochs = 0
     changes = 0
     position = 0
+    epoch_stats: list[dict] = []
     while position < total:
         end = min(position + epoch_references, total)
-        for vpn in vpns[position:end].tolist():
-            access(vpn)
+        step(vpns[position:end])
         position = end
         epochs += 1
+        epoch_stats.append(scheme.stats.snapshot())
         if position < total:
-            # Epoch boundary: the OS re-checks the anchor distance.
-            # (Duck-typed so the sim layer does not import the schemes.)
-            reselect = getattr(scheme, "reselect_distance", None)
-            if reselect is not None:
-                _, changed = reselect()
+            # Epoch boundary: the OS re-checks the anchor distance on
+            # schemes that declare the OSManagedScheme protocol.
+            if scheme.supports_reselection:
+                _, changed = scheme.reselect_distance()
                 if changed:
                     changes += 1
             if on_epoch is not None:
@@ -91,7 +155,8 @@ def simulate(
         workload=trace.name,
         stats=scheme.stats,
         instructions=trace.instructions,
-        anchor_distance=getattr(scheme, "distance", None),
+        anchor_distance=scheme.distance,
         distance_changes=changes,
         epochs=epochs,
+        epoch_stats=epoch_stats,
     )

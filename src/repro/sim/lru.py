@@ -1,0 +1,298 @@
+"""Vectorised set-associative LRU simulation (the batched fast path).
+
+The TLB arrays in :mod:`repro.hw.tlb` are *promote-or-insert* LRU
+structures: every access either promotes its key to MRU (a hit) or
+inserts it at MRU, evicting the LRU entry on overflow (a miss).  For
+such an array the content after any access sequence is history
+independent — it is exactly the last ``ways`` distinct keys of the
+set's access stream, in recency order — so whether access *i* hits is
+decidable offline: it hits iff its key is among the ``ways`` most
+recently accessed distinct keys of its set at that point.
+
+:func:`simulate_block` exploits that to resolve a whole block of
+accesses with numpy instead of one Python call per reference:
+
+1. replay the array's current entries as a synthetic prefix so the
+   window logic sees the pre-block state;
+2. group the stream by set and link each access to the previous
+   occurrence of its key (two packed non-stable sorts — equivalent to
+   stable argsorts because the packed values are unique, and several
+   times faster);
+3. certify the easy cases vectorially: a gap of at most ``ways`` to
+   the previous occurrence is a certain hit (at most ``ways - 1``
+   intervening accesses cannot evict); no previous occurrence is a
+   certain miss; a window of ``ways`` pairwise-distinct accesses after
+   the previous occurrence (checked with a windowed maximum over the
+   ``prev`` links) is a certain miss;
+4. resolve the few remaining accesses with an exact per-access
+   distinct-count walk;
+5. rebuild each set's final content — the last ``ways`` distinct keys
+   in recency order — directly into the array's dicts.
+
+Preconditions (asserted by the parity suite rather than at runtime,
+since they hold by construction for every caller):
+
+* every occurrence of a key uses the same set index (true here because
+  the set index is always derived from the key);
+* ``value_of(key)`` returns the value the scalar path would have
+  stored for ``key`` — true because shootdowns keep resident TLB
+  values consistent with the current OS mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SortedMembership",
+    "collapse_runs",
+    "isin_sorted",
+    "lookup_sorted",
+    "simulate_block",
+    "sorted_arrays",
+]
+
+
+def sorted_arrays(table: dict) -> tuple[np.ndarray, np.ndarray]:
+    """A dict of int -> int as parallel sorted key/value arrays."""
+    keys = np.fromiter(table.keys(), dtype=np.int64, count=len(table))
+    values = np.fromiter(table.values(), dtype=np.int64, count=len(table))
+    order = np.argsort(keys)
+    return keys[order], values[order]
+
+
+class SortedMembership:
+    """Vectorised mapped-ness pre-check over a static key set.
+
+    Batched schemes must know *before* touching any state whether a
+    block contains an unmapped page (if so, they replay the block
+    through the scalar loop, which faults at exactly the right
+    reference).  Contiguously mapped key sets — the common case — are
+    checked with two min/max passes instead of a searchsorted per key.
+    """
+
+    def __init__(self, keys) -> None:
+        arr = np.fromiter(keys, dtype=np.int64, count=len(keys))
+        arr.sort()
+        self.keys = arr
+        self.contiguous = bool(
+            arr.size and int(arr[-1]) - int(arr[0]) + 1 == arr.size)
+
+    def contains_all(self, values: np.ndarray) -> bool:
+        if values.size == 0:
+            return True
+        if self.keys.size == 0:
+            return False
+        if self.contiguous:
+            return (int(values.min()) >= int(self.keys[0])
+                    and int(values.max()) <= int(self.keys[-1]))
+        return bool(isin_sorted(self.keys, values).all())
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Per-element membership."""
+        if self.keys.size == 0:
+            return np.zeros(values.shape, dtype=bool)
+        if self.contiguous:
+            return (values >= self.keys[0]) & (values <= self.keys[-1])
+        return isin_sorted(self.keys, values)
+
+
+def collapse_runs(vpns: np.ndarray) -> np.ndarray:
+    """The first element of each run of consecutive equal VPNs.
+
+    An immediately repeated reference always hits the L1 (the previous
+    access left the covering entry at MRU), so batched schemes process
+    only run heads and count the collapsed tail straight into
+    ``l1_hits``.
+    """
+    n = vpns.shape[0]
+    if n == 0:
+        return vpns
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    np.not_equal(vpns[1:], vpns[:-1], out=head[1:])
+    return vpns[head]
+
+
+def isin_sorted(sorted_keys: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Membership of ``values`` in an ascending-sorted key array."""
+    if sorted_keys.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    idx = np.searchsorted(sorted_keys, values)
+    idx[idx == sorted_keys.size] = 0  # out-of-range probes cannot match
+    return sorted_keys[idx] == values
+
+
+def lookup_sorted(
+    sorted_keys: np.ndarray,
+    sorted_values: np.ndarray,
+    queries: np.ndarray,
+    default: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised dict lookup against parallel sorted key/value arrays.
+
+    Returns ``(values, found)``; missing queries get ``default``.
+    """
+    if sorted_keys.size == 0:
+        return (np.full(queries.shape, default, dtype=np.int64),
+                np.zeros(queries.shape, dtype=bool))
+    idx = np.searchsorted(sorted_keys, queries)
+    idx[idx == sorted_keys.size] = 0
+    found = sorted_keys[idx] == queries
+    values = np.where(found, sorted_values[idx], default)
+    return values, found
+
+
+def _sort_with_positions(
+    values: np.ndarray, hi: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(sorted_values, positions)`` with ties broken by position.
+
+    Packs the position into the value's low bits and runs one
+    non-stable sort — the packed integers are unique, so the result
+    matches a stable argsort at a fraction of the cost.  ``hi`` is the
+    caller-known maximum value (all values must be non-negative); the
+    stable-argsort fallback handles packings that would overflow.
+    """
+    total = values.shape[0]
+    pos_bits = max(total - 1, 1).bit_length()
+    if hi.bit_length() + pos_bits <= 31:
+        combo = values.astype(np.int32)
+        combo <<= pos_bits
+        combo |= np.arange(total, dtype=np.int32)
+    elif hi.bit_length() + pos_bits <= 62:
+        combo = values << pos_bits
+        combo |= np.arange(total, dtype=np.int64)
+    else:
+        order = np.argsort(values, kind="stable")
+        return values[order], order
+    combo.sort()
+    positions = combo & ((1 << pos_bits) - 1)
+    combo >>= pos_bits
+    return combo, positions
+
+
+def simulate_block(tlb, set_indices: np.ndarray, keys: np.ndarray, value_of):
+    """Drive ``(set_indices[i], keys[i])`` accesses through ``tlb``.
+
+    Equivalent to ``lookup(set, key)`` followed by
+    ``insert(set, key, value_of(key))`` on a miss, for every position in
+    order.  Mutates ``tlb`` to its final state and returns a boolean
+    hit array.
+    """
+    n = keys.shape[0]
+    hits = np.zeros(n, dtype=bool)
+    buckets = tlb._sets
+    if n == 0:
+        return hits
+    ways = tlb.ways
+    mask = tlb.index_mask
+
+    # Synthetic prefix: replaying the resident entries (LRU -> MRU)
+    # into an empty array reproduces the current state exactly, so the
+    # windowed logic below needs no special initial-state handling.
+    pre_keys: list[int] = []
+    pre_sets: list[int] = []
+    for index, bucket in enumerate(buckets):
+        if bucket:
+            pre_keys.extend(bucket)
+            pre_sets.extend([index] * len(bucket))
+    n0 = len(pre_keys)
+    if n0:
+        all_keys = np.concatenate(
+            [np.asarray(pre_keys, dtype=np.int64), keys])
+        all_sets = np.concatenate(
+            [np.asarray(pre_sets, dtype=np.int64), set_indices & mask])
+    else:
+        all_keys = np.asarray(keys, dtype=np.int64)
+        all_sets = set_indices & mask
+    total = n0 + n
+    max_key = int(keys.max())
+    if pre_keys:
+        max_key = max(max_key, max(pre_keys))
+
+    # Group by set, preserving order within each set.
+    g_sets, g_pos = _sort_with_positions(all_sets, mask)
+    g_keys = all_keys[g_pos]
+    seg_bounds = np.flatnonzero(
+        np.r_[True, g_sets[1:] != g_sets[:-1]]).astype(np.int32)
+    seg_sizes = np.diff(np.append(seg_bounds, np.int32(total)))
+    seg_start = np.repeat(seg_bounds, seg_sizes)
+
+    # prev[i]: grouped position of the previous access to the same key
+    # (-1 if none).  Same key implies same set, so linking over the
+    # whole grouped array stays within one segment.
+    s_keys, s_pos = _sort_with_positions(g_keys, max_key)
+    s_pos = s_pos.astype(np.int32, copy=False)
+    prev = np.empty(total, dtype=np.int32)
+    prev[s_pos[1:]] = np.where(
+        s_keys[1:] == s_keys[:-1], s_pos[:-1], np.int32(-1))
+    prev[s_pos[0]] = -1
+
+    idx = np.arange(total, dtype=np.int32)
+    gap = idx - prev
+    certain_hit = (prev >= 0) & (gap <= ways)
+    # Windowed max of prev over the last `ways` positions: if every one
+    # of those accesses saw its key for the first time since before the
+    # window, they are `ways` pairwise-distinct keys, all different
+    # from key i (whose own prev is older still) — a certain eviction.
+    w_start = idx - np.int32(ways)
+    w_max = np.full(total, -1, dtype=np.int32)
+    for w in range(1, ways + 1):
+        np.maximum(w_max[w:], prev[:-w], out=w_max[w:])
+    certain_miss = (prev < 0) | (
+        (gap > ways) & (w_start >= seg_start) & (w_max < w_start))
+
+    g_hits = certain_hit
+    step_cap = 16 * ways
+    for i in np.flatnonzero(~(certain_hit | certain_miss)).tolist():
+        # Exact resolution: key i survives iff fewer than `ways`
+        # distinct keys were accessed since its previous occurrence.
+        # The walk normally stops within ~`ways` steps (each step
+        # either adds a distinct key or repeats one); long same-key
+        # runs escape to one np.unique over the whole window.
+        p = int(prev[i])
+        distinct = set()
+        hit = True
+        steps = 0
+        for j in range(i - 1, p, -1):
+            k = g_keys[j]
+            if k not in distinct:
+                distinct.add(k)
+                if len(distinct) >= ways:
+                    hit = False
+                    break
+            steps += 1
+            if steps >= step_cap:
+                hit = bool(np.unique(g_keys[p + 1:i]).size < ways)
+                break
+        g_hits[i] = hit
+
+    # Scatter hits back to the caller's positions (prefix rows drop).
+    if n0:
+        orig = g_pos.astype(np.int64) - n0
+        live = orig >= 0
+        hits[orig[live]] = g_hits[live]
+    else:
+        hits[g_pos] = g_hits
+
+    # Final state: the last `ways` distinct keys of each touched set,
+    # found by scanning a geometrically growing tail of the segment
+    # (np.unique of the reversed tail yields last occurrences).
+    seg_ends = np.append(seg_bounds[1:], total)
+    for s0, s1 in zip(seg_bounds.tolist(), seg_ends.tolist()):
+        length = 4 * ways
+        while True:
+            lo = max(s0, s1 - length)
+            reversed_tail = g_keys[lo:s1][::-1]
+            _, first_at = np.unique(reversed_tail, return_index=True)
+            if first_at.size >= ways or lo == s0:
+                break
+            length *= 8
+        first_at.sort()
+        recent = reversed_tail[first_at[:ways]]  # MRU first
+        bucket = buckets[int(g_sets[s0])]
+        bucket.clear()
+        for key in recent[::-1].tolist():
+            bucket[key] = value_of(key)
+    return hits

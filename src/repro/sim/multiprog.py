@@ -80,9 +80,7 @@ def simulate_multiprogrammed(
                     run.scheme.flush()
                     result.flushes += 1
             end = min(run.position + quantum, len(run.trace))
-            access = run.scheme.access
-            for vpn in run.trace.vpns[run.position:end].tolist():
-                access(vpn)
+            run.scheme.access_block(run.trace.vpns[run.position:end])
             run.position = end
             previous = run
             if run.finished:

@@ -17,6 +17,18 @@ from dataclasses import dataclass, field
 
 from repro.params import LatencyModel
 
+#: The raw event counters, in reporting order.  ``snapshot``/``to_dict``
+#: and the batched engine's bulk updates all iterate this tuple.
+COUNTER_FIELDS = (
+    "accesses",
+    "l1_hits",
+    "l2_small_hits",
+    "l2_huge_hits",
+    "coalesced_hits",
+    "walks",
+    "walk_pt_accesses",
+)
+
 
 @dataclass
 class TranslationStats:
@@ -32,6 +44,60 @@ class TranslationStats:
     #: Page-table memory accesses actually performed, tracked only when
     #: the page-walk caches are enabled (0 means "flat walk model").
     walk_pt_accesses: int = 0
+
+    # ------------------------------------------------------------------
+    # Bulk updates and serialisation (batched engine / JSON emission)
+    # ------------------------------------------------------------------
+
+    def bulk_update(
+        self,
+        *,
+        accesses: int = 0,
+        l1_hits: int = 0,
+        l2_small_hits: int = 0,
+        l2_huge_hits: int = 0,
+        coalesced_hits: int = 0,
+        walks: int = 0,
+        walk_pt_accesses: int = 0,
+    ) -> None:
+        """Add a whole block's worth of events in one call.
+
+        The batched engine resolves thousands of references at a time;
+        this folds their outcomes into the counters without a Python
+        call per reference.  ``int()`` guards against numpy scalars
+        leaking into the (plain-int) counters.
+        """
+        self.accesses += int(accesses)
+        self.l1_hits += int(l1_hits)
+        self.l2_small_hits += int(l2_small_hits)
+        self.l2_huge_hits += int(l2_huge_hits)
+        self.coalesced_hits += int(coalesced_hits)
+        self.walks += int(walks)
+        self.walk_pt_accesses += int(walk_pt_accesses)
+
+    def snapshot(self) -> dict[str, int]:
+        """The raw counters as a plain (JSON-safe) dict."""
+        return {name: getattr(self, name) for name in COUNTER_FIELDS}
+
+    def to_dict(self) -> dict:
+        """Round-trippable dict form (see :meth:`from_dict`)."""
+        payload: dict = {
+            "latency": {
+                "l2_hit": self.latency.l2_hit,
+                "coalesced_hit": self.latency.coalesced_hit,
+                "page_walk": self.latency.page_walk,
+                "walk_step": self.latency.walk_step,
+            }
+        }
+        payload.update(self.snapshot())
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TranslationStats":
+        stats = cls(latency=LatencyModel(**payload.get("latency", {})))
+        for name in COUNTER_FIELDS:
+            setattr(stats, name, int(payload.get(name, 0)))
+        return stats
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -79,9 +79,14 @@ class System:
     # ------------------------------------------------------------------
 
     def _ensure_memory(self, footprint: int) -> PhysicalMemory:
-        """Size memory lazily to fit what gets launched (2x headroom)."""
+        """Size memory lazily to fit what gets launched (2x headroom).
+
+        The frame count is the next power of two at or above twice the
+        footprint, floored at 64 Ki frames (256 MiB of 4 KiB frames).
+        """
         if self.memory is None:
-            total = 1 << max(footprint * 2 - 1, 1 << 16).bit_length()
+            needed = max(2 * footprint, 1 << 16)
+            total = 1 << (needed - 1).bit_length()
             self.memory = PhysicalMemory(total, self._pressure, seed=self.seed)
         return self.memory
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import PageFaultError
 from repro.schemes.baseline import BaselineScheme
+from repro.sim.engine import simulate
 
 
 class TestBaseline:
@@ -46,9 +47,14 @@ class TestBaseline:
     def test_run_conserves_stats(self, contiguous_mapping, make_trace):
         scheme = BaselineScheme(contiguous_mapping)
         trace = make_trace([0x1000 + (i % 64) for i in range(500)])
-        stats = scheme.run(trace)
+        stats = simulate(scheme, trace).stats
         assert stats.accesses == 500
         stats.check_conservation()
+
+    def test_run_is_deprecated(self, contiguous_mapping, make_trace):
+        scheme = BaselineScheme(contiguous_mapping)
+        with pytest.deprecated_call():
+            scheme.run(make_trace([0x1000, 0x1001]))
 
     def test_capacity_thrash(self, contiguous_mapping, tiny_machine):
         # 256 pages round-robin over a 32-entry L2: every access misses.

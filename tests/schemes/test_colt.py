@@ -4,6 +4,7 @@ import pytest
 
 from repro.mem.frames import FrameRange
 from repro.schemes.colt_scheme import ColtScheme
+from repro.sim.engine import simulate
 from repro.vmos.mapping import MemoryMapping
 
 
@@ -48,5 +49,5 @@ class TestColt:
     def test_conservation(self, runs_mapping, make_trace):
         scheme = ColtScheme(runs_mapping)
         trace = make_trace([0, 1, 2, 16, 17, 24, 0, 5, 18, 24] * 20)
-        stats = scheme.run(trace)
+        stats = simulate(scheme, trace).stats
         stats.check_conservation()

@@ -4,6 +4,7 @@ import pytest
 
 from repro.mem.frames import FrameRange
 from repro.schemes.rmm import RMMScheme
+from repro.sim.engine import simulate
 from repro.vmos.mapping import MemoryMapping
 
 
@@ -60,4 +61,4 @@ class TestRMM:
         trace = make_trace(
             [vpn for vpn, _ in list(few_ranges.items())[::5]] * 3
         )
-        scheme.run(trace).check_conservation()
+        simulate(scheme, trace).stats.check_conservation()

@@ -1,0 +1,162 @@
+"""Golden parity: the batched engine must be bit-identical to scalar.
+
+Every registered scheme is driven over the same trace by both engines;
+counters must match exactly, and for the schemes with optimised
+``access_block`` overrides the final hardware state (every set's entries
+in LRU order) must match too — the batched path is a faster evaluation
+of the same machine, not an approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.params import DEFAULT_MACHINE
+from repro.schemes.registry import make_scheme, scheme_names
+from repro.sim.engine import DEFAULT_EPOCH_REFERENCES, SimulationResult, simulate
+from repro.sim.trace import Trace
+from repro.vmos.scenarios import build_mapping
+from repro.vmos.vma import AllocationSite, layout_vmas
+
+#: schemes with a vectorised access_block (state must also match).
+OPTIMIZED = {"base", "thp", "thp1g", "anchor-dyn", "anchor-region"}
+
+SCENARIOS = ("demand", "eager", "low")
+
+
+def parity_vmas():
+    return layout_vmas([
+        AllocationSite(1024, 1),
+        AllocationSite(64, 4),
+        AllocationSite(8, 8),
+    ])
+
+
+def mapped_trace(mapping, references, seed):
+    """A trace over mapped pages only (no faults — both engines finish)."""
+    rng = np.random.default_rng(seed)
+    vpns = np.fromiter((vpn for vpn, _ in mapping.items()), dtype=np.int64)
+    picks = vpns[rng.integers(0, vpns.size, size=references)]
+    return Trace(picks, references * 3, "parity")
+
+
+def l2_state(scheme):
+    l2 = getattr(scheme, "l2", None)
+    if l2 is None:
+        return None
+    array = getattr(l2, "array", l2)
+    return array.state() if hasattr(array, "state") else None
+
+
+def run_engine(scheme_name, mapping, trace, machine, engine, epoch):
+    scheme = make_scheme(scheme_name, mapping, machine)
+    result = simulate(scheme, trace, epoch_references=epoch, engine=engine)
+    return scheme, result
+
+
+class TestGoldenParity:
+    @pytest.mark.parametrize("scheme_name", scheme_names(include_extras=True))
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_scalar_batched_identical(self, scheme_name, scenario, tiny_machine):
+        mapping = build_mapping(parity_vmas(), scenario, seed=13)
+        trace = mapped_trace(mapping, 6000, seed=17)
+        outputs = {}
+        for engine in ("scalar", "batched"):
+            scheme, result = run_engine(
+                scheme_name, mapping, trace, tiny_machine, engine, epoch=2500)
+            outputs[engine] = (
+                scheme.stats.snapshot(),
+                result.epoch_stats,
+                scheme.l1.state(),
+                l2_state(scheme) if scheme_name in OPTIMIZED else None,
+            )
+        assert outputs["batched"] == outputs["scalar"]
+
+    @pytest.mark.parametrize("scheme_name", sorted(OPTIMIZED))
+    def test_full_machine_parity(self, scheme_name):
+        mapping = build_mapping(parity_vmas(), "demand", seed=5)
+        trace = mapped_trace(mapping, 20_000, seed=23)
+        outputs = {}
+        for engine in ("scalar", "batched"):
+            scheme, result = run_engine(
+                scheme_name, mapping, trace, DEFAULT_MACHINE, engine,
+                epoch=8000)
+            outputs[engine] = (
+                scheme.stats.snapshot(), result.epoch_stats,
+                scheme.l1.state(), l2_state(scheme))
+        assert outputs["batched"] == outputs["scalar"]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        scheme_name=st.sampled_from(sorted(OPTIMIZED)),
+    )
+    def test_property_random_traces(self, seed, scheme_name):
+        # Small page universe + tiny machine: evictions, residual LRU
+        # walks and anchor refills all trigger within a short trace.
+        from repro.params import MachineConfig, TLBGeometry
+
+        tiny_machine = MachineConfig(
+            l1_4k=TLBGeometry(8, 2),
+            l1_2m=TLBGeometry(4, 2),
+            l2=TLBGeometry(32, 4),
+        )
+        mapping = build_mapping(parity_vmas(), "medium", seed=3)
+        vpns = np.fromiter(
+            (vpn for vpn, _ in mapping.items()), dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        hot = vpns[: max(8, vpns.size // 64)]
+        picks = np.where(
+            rng.random(3000) < 0.5,
+            hot[rng.integers(0, hot.size, size=3000)],
+            vpns[rng.integers(0, vpns.size, size=3000)],
+        )
+        trace = Trace(picks, 9000, "prop")
+        outputs = {}
+        for engine in ("scalar", "batched"):
+            scheme, _ = run_engine(
+                scheme_name, mapping, trace, tiny_machine, engine, epoch=1000)
+            outputs[engine] = (
+                scheme.stats.snapshot(), scheme.l1.state(), l2_state(scheme))
+        assert outputs["batched"] == outputs["scalar"]
+
+
+class TestEngineAPI:
+    def test_unknown_engine_rejected(self, contiguous_mapping, make_trace):
+        scheme = make_scheme("base", contiguous_mapping, DEFAULT_MACHINE)
+        with pytest.raises(ValueError):
+            simulate(scheme, make_trace([0x1000]), engine="vectorised")
+
+    def test_epoch_stats_snapshots(self, contiguous_mapping, make_trace):
+        scheme = make_scheme("base", contiguous_mapping, DEFAULT_MACHINE)
+        trace = make_trace([0x1000 + (i % 256) for i in range(900)])
+        result = simulate(scheme, trace, epoch_references=300)
+        assert len(result.epoch_stats) == 3
+        assert result.epoch_stats[-1] == scheme.stats.snapshot()
+        assert [s["accesses"] for s in result.epoch_stats] == [300, 600, 900]
+
+    def test_default_epoch_size(self):
+        assert DEFAULT_EPOCH_REFERENCES == 50_000
+
+    def test_result_round_trip(self, contiguous_mapping, make_trace):
+        scheme = make_scheme("base", contiguous_mapping, DEFAULT_MACHINE)
+        result = simulate(
+            scheme, make_trace([0x1000, 0x1001] * 50), epoch_references=40)
+        payload = result.to_dict()
+        rebuilt = SimulationResult.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.stats.snapshot() == scheme.stats.snapshot()
+        assert rebuilt.epoch_stats == result.epoch_stats
+
+    def test_stats_round_trip(self, contiguous_mapping, make_trace):
+        scheme = make_scheme("base", contiguous_mapping, DEFAULT_MACHINE)
+        simulate(scheme, make_trace([0x1000 + i for i in range(80)]))
+        payload = scheme.stats.to_dict()
+        from repro.sim.stats import TranslationStats
+
+        rebuilt = TranslationStats.from_dict(payload)
+        assert rebuilt.snapshot() == scheme.stats.snapshot()
+        assert rebuilt.latency.l2_hit == scheme.stats.latency.l2_hit

@@ -1,0 +1,132 @@
+"""The vectorised LRU kernel against the scalar TLB, access for access."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.tlb import SetAssociativeTLB
+from repro.sim.lru import (
+    SortedMembership,
+    collapse_runs,
+    isin_sorted,
+    lookup_sorted,
+    simulate_block,
+    sorted_arrays,
+)
+
+
+def value_of(key: int) -> int:
+    return key * 3 + 1
+
+
+def reference_hits(tlb: SetAssociativeTLB, sets, keys) -> np.ndarray:
+    """Drive the scalar TLB: lookup, insert-on-miss, per access."""
+    hits = np.zeros(len(keys), dtype=bool)
+    for i, (index, key) in enumerate(zip(sets, keys)):
+        if tlb.lookup(index, key) is not None:
+            hits[i] = True
+        else:
+            tlb.insert(index, key, value_of(key))
+    return hits
+
+
+def run_both(entries, ways, sets, keys, seed_entries=()):
+    scalar = SetAssociativeTLB(entries, ways)
+    batched = SetAssociativeTLB(entries, ways)
+    for index, key in seed_entries:
+        scalar.insert(index, key, value_of(key))
+        batched.insert(index, key, value_of(key))
+    sets = np.asarray(sets, dtype=np.int64)
+    keys = np.asarray(keys, dtype=np.int64)
+    expected = reference_hits(scalar, sets.tolist(), keys.tolist())
+    got = simulate_block(batched, sets, keys, value_of)
+    assert got.tolist() == expected.tolist()
+    assert batched.state() == scalar.state()
+
+
+GEOMETRIES = [(1, 1), (4, 2), (8, 2), (8, 4), (16, 4), (64, 8)]
+
+
+class TestSimulateBlock:
+    @pytest.mark.parametrize("entries,ways", GEOMETRIES)
+    def test_random_traces(self, entries, ways):
+        rng = np.random.default_rng(entries * 31 + ways)
+        for universe in (ways, ways + 1, 4 * ways, 64 * ways):
+            keys = rng.integers(0, universe, size=500)
+            run_both(entries, ways, keys, keys)
+
+    @pytest.mark.parametrize("entries,ways", GEOMETRIES)
+    def test_preseeded_state(self, entries, ways):
+        rng = np.random.default_rng(7)
+        seed = [(int(k), int(k)) for k in rng.integers(0, 4 * ways, size=3 * ways)]
+        keys = rng.integers(0, 4 * ways, size=300)
+        run_both(entries, ways, keys, keys, seed_entries=seed)
+
+    def test_set_and_key_decoupled(self):
+        # Callers may derive the set index from the key any way they
+        # like, as long as it is a function of the key.
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 64, size=400)
+        run_both(16, 2, keys >> 2, keys)
+
+    def test_run_heavy_trace_hits_step_cap(self):
+        # One hot key pounded between two occurrences of a cold key:
+        # the back-walk exceeds its step cap and must escape to the
+        # exact windowed count.
+        ways = 4
+        keys = [99] + [1, 2] * (40 * ways) + [99]
+        run_both(8, ways, [0] * len(keys), keys)
+
+    def test_empty_block(self):
+        tlb = SetAssociativeTLB(8, 2)
+        out = simulate_block(
+            tlb, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            value_of)
+        assert out.size == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=12),
+                      min_size=1, max_size=120),
+        geometry=st.sampled_from(GEOMETRIES),
+    )
+    def test_property_random_traces(self, keys, geometry):
+        entries, ways = geometry
+        run_both(entries, ways, keys, keys)
+
+
+class TestHelpers:
+    def test_collapse_runs(self):
+        vpns = np.asarray([5, 5, 5, 2, 2, 7, 5, 5], dtype=np.int64)
+        assert collapse_runs(vpns).tolist() == [5, 2, 7, 5]
+        assert collapse_runs(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_isin_sorted(self):
+        table = np.asarray([2, 5, 9], dtype=np.int64)
+        probes = np.asarray([1, 2, 5, 9, 10], dtype=np.int64)
+        assert isin_sorted(table, probes).tolist() == [
+            False, True, True, True, False]
+
+    def test_lookup_sorted(self):
+        keys, values = sorted_arrays({5: 50, 2: 20, 9: 90})
+        out, found = lookup_sorted(
+            keys, values, np.asarray([2, 3, 9, 11], dtype=np.int64),
+            default=-1)
+        assert out.tolist() == [20, -1, 90, -1]
+        assert found.tolist() == [True, False, True, False]
+
+    def test_sorted_membership_contiguous_and_sparse(self):
+        dense = SortedMembership({10: 1, 11: 1, 12: 1})
+        assert dense.contiguous
+        assert dense.contains_all(np.asarray([10, 12], dtype=np.int64))
+        assert not dense.contains_all(np.asarray([9], dtype=np.int64))
+        sparse = SortedMembership({10: 1, 12: 1})
+        assert not sparse.contiguous
+        assert sparse.mask(np.asarray([10, 11, 12], dtype=np.int64)).tolist() \
+            == [True, False, True]
+        empty = SortedMembership({})
+        assert not empty.contains_all(np.asarray([1], dtype=np.int64))
+        assert empty.contains_all(np.empty(0, dtype=np.int64))

@@ -19,6 +19,15 @@ class TestLaunch:
         assert system.memory is not None
         assert system.memory.total_frames >= 2 * process.footprint_pages
 
+    def test_memory_sizing_rule(self):
+        # Next power of two at or above twice the footprint, floored at
+        # 64 Ki frames.  (A former double-shift made the smallest boot
+        # 128 Ki frames and doubled every exact-power-of-two fit.)
+        assert System(seed=1)._ensure_memory(100).total_frames == 1 << 16
+        assert System(seed=1)._ensure_memory(1 << 15).total_frames == 1 << 16
+        assert System(seed=1)._ensure_memory((1 << 15) + 1).total_frames == 1 << 17
+        assert System(seed=1)._ensure_memory(40_000).total_frames == 1 << 17
+
     def test_eager_policy(self):
         system = System(seed=1)
         process = system.launch("sphinx3", policy="eager")
