@@ -19,3 +19,14 @@ class PageFaultError(MappingError):
 
 class ConfigurationError(ReproError):
     """An invalid hardware or experiment configuration."""
+
+
+class OrchestrationError(ReproError):
+    """Invalid use of the experiment orchestrator, or state corruption
+    (e.g. a memoised mapping whose content digest no longer matches)."""
+
+
+class CellFailedError(OrchestrationError):
+    """A matrix cell is being served from the failure ledger: its job
+    exhausted every retry, so the cell has no result.  Reports catch
+    this and render a gap instead of crashing."""

@@ -7,5 +7,13 @@ the benchmark harness).  ``repro.experiments.cli`` provides the
 """
 
 from repro.experiments.common import ExperimentConfig, MatrixRunner
+from repro.sim.runner import JobSpec, Orchestrator, ResultStore, RunSummary
 
-__all__ = ["ExperimentConfig", "MatrixRunner"]
+__all__ = [
+    "ExperimentConfig",
+    "MatrixRunner",
+    "JobSpec",
+    "Orchestrator",
+    "ResultStore",
+    "RunSummary",
+]

@@ -7,7 +7,14 @@ Examples::
     anchor-tlb fig9 --references 50000 --plot
     anchor-tlb table6
     anchor-tlb fig7 --no-ideal
+    anchor-tlb fig7 --workers 4 --cache-dir ~/.cache/anchor-tlb
     anchor-tlb all --references 20000
+
+With ``--workers N`` the matrix experiments fan cache misses out to N
+worker processes; with ``--cache-dir`` completed cells persist as
+content-addressed JSON, so re-runs (and other experiments sharing
+cells) skip them.  Per-job progress lines and the run summary go to
+stderr, so ``--json`` output on stdout stays clean.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from repro.experiments import (
     table6,
 )
 from repro.experiments.common import ExperimentConfig, MatrixRunner
+from repro.sim.runner import combine_summaries
 
 _MATRIX_EXPERIMENTS = {
     "fig2": fig2.run,
@@ -231,20 +239,42 @@ def main(argv: list[str] | None = None) -> int:
                         help="scenario for 'inspect'")
     parser.add_argument("--out", default=None,
                         help="output path for 'trace' (.npz)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for matrix cells "
+                             "(0 = in-process serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir: neither read nor write "
+                             "cached results")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress lines on stderr")
     args = parser.parse_args(argv)
 
     config = ExperimentConfig(
         **({"references": args.references} if args.references else {}),
         seed=args.seed,
     )
-    runner = MatrixRunner(config)
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr)
+    )
+    runner = MatrixRunner(
+        config,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=progress,
+    )
     if args.experiment == "all":
         targets = [n for n in names if n not in ("list", "inspect", "trace")]
     else:
         targets = [args.experiment]
     for name in targets:
         started = time.time()
+        seen_summaries = len(runner.summaries)
         print(_run_one(name, args, runner))
+        new_summaries = runner.summaries[seen_summaries:]
+        if new_summaries and not args.quiet:
+            print(combine_summaries(new_summaries).render(), file=sys.stderr)
         print(f"[{name}: {time.time() - started:.1f}s]\n")
     return 0
 

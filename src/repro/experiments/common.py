@@ -4,29 +4,50 @@ Everything the figure drivers need: mapping/trace caching (mappings are
 deterministic in the seed, so every scheme sees the identical mapping
 and trace), baseline normalisation, and the static-ideal search wired in
 as a pseudo-scheme.
+
+Since PR 2 the runner sits on :mod:`repro.sim.runner`: every cell is a
+content-addressed :class:`~repro.sim.runner.JobSpec`, cells can be
+prefetched in parallel across worker processes, completed cells persist
+in a :class:`~repro.sim.runner.ResultStore`, and a cell whose job
+crashes lands in a failure ledger and renders as a gap instead of
+killing the report.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from repro.errors import CellFailedError
 from repro.params import DEFAULT_MACHINE, MachineConfig
-from repro.schemes import make_scheme
-from repro.schemes.registry import SCHEME_ORDER
-from repro.sim.engine import DEFAULT_EPOCH_REFERENCES, SimulationResult, simulate
-from repro.sim.sweep import static_ideal
+from repro.sim.engine import DEFAULT_EPOCH_REFERENCES, SimulationResult
+from repro.sim.runner import (
+    STATIC_IDEAL,
+    JobFailure,
+    JobSpec,
+    Orchestrator,
+    ResultStore,
+    RunSummary,
+    execute_job,
+    mapping_digest,
+    simulate_spec,
+    trace_digest,
+)
 from repro.sim.trace import Trace
 from repro.sim.workloads import WORKLOAD_ORDER, get_workload
+from repro.schemes.registry import SCHEME_ORDER
+from repro.vmos.contiguity import contiguity_histogram
+from repro.vmos.distance import select_distance
 from repro.vmos.mapping import MemoryMapping
 from repro.vmos.scenarios import build_mapping
-
-#: Pseudo-scheme name handled by the runner via exhaustive search.
-STATIC_IDEAL = "anchor-ideal"
 
 #: Default trace length for experiment reports.  Large enough that the
 #: TLB reaches steady state (compulsory misses < 10% of events for every
 #: workload) while keeping the 14x6x7 matrix tractable in pure Python.
 DEFAULT_REFERENCES = 100_000
+
+Cell = tuple[str, str, str]
 
 
 @dataclass(frozen=True)
@@ -42,59 +63,263 @@ class ExperimentConfig:
 
 
 class MatrixRunner:
-    """Runs and caches cells of the experiment matrix."""
+    """Runs and caches cells of the experiment matrix.
 
-    def __init__(self, config: ExperimentConfig | None = None) -> None:
+    ``workers=0`` (the default) computes cells in-process exactly as
+    before; ``workers=N`` lets :meth:`prefetch` fan cache misses out to
+    ``N`` worker processes.  With a ``store`` (or ``cache_dir``),
+    completed cells persist as content-addressed JSON and later runs —
+    including runs of *other* experiments sharing cells — skip them.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        *,
+        workers: int = 0,
+        store: ResultStore | None = None,
+        cache_dir: str | Path | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
         self.config = config or ExperimentConfig()
+        if store is None and cache_dir is not None:
+            store = ResultStore(cache_dir)
+        self.workers = workers
+        self.store = store
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+        #: One entry per :meth:`prefetch` that actually ran jobs.
+        self.summaries: list[RunSummary] = []
         self._mappings: dict[tuple[str, str], MemoryMapping] = {}
+        self._mapping_digests: dict[tuple[str, str], str] = {}
         self._traces: dict[str, Trace] = {}
-        self._results: dict[tuple[str, str, str], SimulationResult] = {}
+        self._trace_digests: dict[str, str] = {}
+        self._results: dict[Cell, SimulationResult] = {}
+        self._distances: dict[tuple[str, str], int] = {}
+        self._failures: dict[Cell, JobFailure] = {}
 
+    # ------------------------------------------------------------------
+    # Specs
+    # ------------------------------------------------------------------
+
+    def spec(self, workload: str, scenario: str, scheme: str) -> JobSpec:
+        """The content-addressed job description of one cell."""
+        return JobSpec(
+            workload=workload,
+            scenario=scenario,
+            scheme=scheme,
+            references=self.config.references,
+            seed=self.config.seed,
+            epoch_references=self.config.epoch_references,
+            ideal_subsample=self.config.ideal_subsample,
+            machine=self.config.machine,
+        )
+
+    def _distance_spec(self, workload: str, scenario: str) -> JobSpec:
+        return JobSpec(
+            workload=workload,
+            scenario=scenario,
+            scheme="-",
+            references=self.config.references,
+            seed=self.config.seed,
+            epoch_references=self.config.epoch_references,
+            ideal_subsample=self.config.ideal_subsample,
+            machine=self.config.machine,
+            kind="distances",
+        )
+
+    # ------------------------------------------------------------------
+    # Mapping / trace caches (in-process, digest-guarded)
     # ------------------------------------------------------------------
 
     def mapping(self, workload: str, scenario: str) -> MemoryMapping:
         key = (workload, scenario)
-        if key not in self._mappings:
+        cached = self._mappings.get(key)
+        if cached is None:
             vmas = get_workload(workload).vmas()
-            self._mappings[key] = build_mapping(
-                vmas, scenario, seed=self.config.seed
+            cached = build_mapping(vmas, scenario, seed=self.config.seed)
+            self._mappings[key] = cached
+            self._mapping_digests[key] = mapping_digest(cached)
+        elif mapping_digest(cached) != self._mapping_digests[key]:
+            raise CellFailedError(
+                f"mapping for {workload}/{scenario} was mutated since it "
+                "was built; refusing to serve the aliased copy"
             )
-        return self._mappings[key]
+        return cached
 
     def trace(self, workload: str) -> Trace:
-        if workload not in self._traces:
-            self._traces[workload] = get_workload(workload).make_trace(
+        cached = self._traces.get(workload)
+        if cached is None:
+            cached = get_workload(workload).make_trace(
                 self.config.references, seed=self.config.seed
             )
-        return self._traces[workload]
+            self._traces[workload] = cached
+            self._trace_digests[workload] = trace_digest(cached)
+        elif trace_digest(cached) != self._trace_digests[workload]:
+            raise CellFailedError(
+                f"trace for {workload} was mutated since it was built; "
+                "refusing to serve the aliased copy"
+            )
+        return cached
+
+    # ------------------------------------------------------------------
+    # Cell execution
+    # ------------------------------------------------------------------
+
+    def _execute_spec(self, spec: JobSpec) -> dict:
+        """Serial job function: reuses this runner's in-process caches."""
+        if spec.kind == "distances":
+            mapping = self.mapping(spec.workload, spec.scenario)
+            return {"distance": int(select_distance(contiguity_histogram(mapping)))}
+        mapping = self.mapping(spec.workload, spec.scenario)
+        trace = self.trace(spec.workload)
+        return simulate_spec(spec, mapping, trace).to_dict()
+
+    def _orchestrator(self) -> Orchestrator:
+        return Orchestrator(
+            workers=self.workers,
+            store=self.store,
+            timeout=self.timeout,
+            retries=self.retries,
+            job_fn=self._execute_spec if self.workers == 0 else execute_job,
+            progress=self.progress,
+        )
+
+    def _raise_failure(self, cell: Cell) -> None:
+        failure = self._failures.get(cell)
+        if failure is not None:
+            raise CellFailedError(
+                f"cell {failure.label} failed after {failure.attempts} "
+                f"attempts: {failure.error}"
+            )
 
     def run(self, workload: str, scenario: str, scheme: str) -> SimulationResult:
-        """Simulate one cell (cached)."""
-        key = (workload, scenario, scheme)
-        if key not in self._results:
+        """Simulate one cell (cached; raises if the cell is ledgered)."""
+        cell = (workload, scenario, scheme)
+        hit = self._results.get(cell)
+        if hit is not None:
+            return hit
+        self._raise_failure(cell)
+        spec = self.spec(*cell)
+        payload = self.store.get(spec.key()) if self.store else None
+        if payload is not None:
+            result = SimulationResult.from_dict(payload)
+        else:
             mapping = self.mapping(workload, scenario)
             trace = self.trace(workload)
-            if scheme == STATIC_IDEAL:
-                result = static_ideal(
-                    mapping,
-                    trace,
-                    self.config.machine,
-                    subsample=self.config.ideal_subsample,
+            try:
+                result = simulate_spec(spec, mapping, trace)
+            except Exception as exc:
+                self._failures[cell] = JobFailure(
+                    spec.key(), spec.label(), repr(exc), attempts=1
                 )
-            else:
-                instance = make_scheme(scheme, mapping, self.config.machine)
-                result = simulate(
-                    instance, trace, epoch_references=self.config.epoch_references
-                )
-            self._results[key] = result
-        return self._results[key]
+                raise CellFailedError(
+                    f"cell {spec.label()} failed: {exc!r}"
+                ) from exc
+            if self.store is not None:
+                self.store.put(spec.key(), result.to_dict())
+        self._results[cell] = result
+        return result
+
+    def maybe_run(
+        self, workload: str, scenario: str, scheme: str
+    ) -> SimulationResult | None:
+        """Like :meth:`run`, but a failed cell yields ``None`` (a gap)."""
+        try:
+            return self.run(workload, scenario, scheme)
+        except CellFailedError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Parallel prefetch
+    # ------------------------------------------------------------------
+
+    def prefetch(
+        self,
+        workloads: Iterable[str],
+        scenarios: Iterable[str],
+        schemes: Iterable[str],
+    ) -> RunSummary | None:
+        """Resolve every (workload, scenario, scheme) cell up front.
+
+        Cache misses run through the orchestrator — in parallel when
+        ``workers > 0`` — and land in the in-memory result cache, so the
+        drivers' row loops afterwards never simulate.  Failed cells go
+        to the failure ledger and are served as gaps.  Returns the run
+        summary, or ``None`` when every cell was already in memory.
+        """
+        cells = [
+            (w, s, k)
+            for w in workloads
+            for s in scenarios
+            for k in schemes
+            if (w, s, k) not in self._results and (w, s, k) not in self._failures
+        ]
+        if not cells:
+            return None
+        specs = {cell: self.spec(*cell) for cell in cells}
+        results, summary = self._orchestrator().run(list(specs.values()))
+        by_key = {failure.key: failure for failure in summary.failures}
+        for cell, spec in specs.items():
+            payload = results.get(spec.key())
+            if payload is not None:
+                self._results[cell] = SimulationResult.from_dict(payload)
+            elif spec.key() in by_key:
+                self._failures[cell] = by_key[spec.key()]
+        self.summaries.append(summary)
+        return summary
+
+    def prefetch_distances(
+        self, workloads: Iterable[str], scenarios: Iterable[str]
+    ) -> RunSummary | None:
+        """Resolve Algorithm 1's distance selection per (workload, scenario)."""
+        pairs = [
+            (w, s)
+            for w in workloads
+            for s in scenarios
+            if (w, s) not in self._distances
+        ]
+        if not pairs:
+            return None
+        specs = {pair: self._distance_spec(*pair) for pair in pairs}
+        results, summary = self._orchestrator().run(list(specs.values()))
+        for pair, spec in specs.items():
+            payload = results.get(spec.key())
+            if payload is not None:
+                self._distances[pair] = int(payload["distance"])
+        self.summaries.append(summary)
+        return summary
+
+    def selected_distance(self, workload: str, scenario: str) -> int:
+        """The Algorithm 1 distance for one mapping (cached)."""
+        pair = (workload, scenario)
+        if pair not in self._distances:
+            mapping = self.mapping(workload, scenario)
+            self._distances[pair] = int(
+                select_distance(contiguity_histogram(mapping))
+            )
+        return self._distances[pair]
+
+    # ------------------------------------------------------------------
+    # Report helpers
+    # ------------------------------------------------------------------
 
     def relative_misses(self, workload: str, scenario: str, scheme: str) -> float:
         """L2 misses of a cell as % of the 4 KiB baseline cell."""
         baseline = self.run(workload, scenario, "base")
         return self.run(workload, scenario, scheme).relative_misses(baseline)
 
-    # ------------------------------------------------------------------
+    def maybe_relative_misses(
+        self, workload: str, scenario: str, scheme: str
+    ) -> float | None:
+        """Relative misses, or ``None`` when either cell is a gap."""
+        try:
+            return self.relative_misses(workload, scenario, scheme)
+        except CellFailedError:
+            return None
 
     def scenario_rows(
         self,
@@ -102,17 +327,28 @@ class MatrixRunner:
         schemes: tuple[str, ...],
         workloads: tuple[str, ...] = WORKLOAD_ORDER,
     ) -> list[list[object]]:
-        """Per-workload relative-miss rows (Figs. 7/8 shape), plus a mean."""
+        """Per-workload relative-miss rows (Figs. 7/8 shape), plus a mean.
+
+        Failed cells appear as ``None`` (rendered "-") and are excluded
+        from that scheme's mean.
+        """
+        self.prefetch(workloads, (scenario,), dict.fromkeys(schemes + ("base",)))
         rows: list[list[object]] = []
         sums = [0.0] * len(schemes)
+        counts = [0] * len(schemes)
         for workload in workloads:
             row: list[object] = [workload]
             for i, scheme in enumerate(schemes):
-                value = self.relative_misses(workload, scenario, scheme)
-                sums[i] += value
+                value = self.maybe_relative_misses(workload, scenario, scheme)
+                if value is not None:
+                    sums[i] += value
+                    counts[i] += 1
                 row.append(value)
             rows.append(row)
-        rows.append(["mean"] + [s / len(workloads) for s in sums])
+        rows.append(
+            ["mean"]
+            + [s / c if c else None for s, c in zip(sums, counts)]
+        )
         return rows
 
 

@@ -28,13 +28,16 @@ def run(
         title="Fig.2: relative TLB misses (%) of prior schemes vs contiguity",
         headers=["contiguity"] + list(SCHEMES),
     )
+    runner.prefetch(workloads, [s for _, s in SCENARIOS], SCHEMES)
     for label, scenario in SCENARIOS:
         row: list[object] = [label]
         for scheme in SCHEMES:
             values = [
-                runner.relative_misses(w, scenario, scheme) for w in workloads
+                v for w in workloads
+                if (v := runner.maybe_relative_misses(w, scenario, scheme))
+                is not None
             ]
-            row.append(sum(values) / len(values))
+            row.append(sum(values) / len(values) if values else None)
         report.table.append(row)
     report.notes.append(
         "expected shape: cluster flat-moderate everywhere; RMM poor at "

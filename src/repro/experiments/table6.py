@@ -11,8 +11,6 @@ from repro.experiments.paper_data import PAPER_TABLE6
 from repro.experiments.report import Report
 from repro.params import SCENARIO_ORDER
 from repro.sim.workloads import WORKLOAD_ORDER
-from repro.vmos.contiguity import contiguity_histogram
-from repro.vmos.distance import select_distance
 
 
 def _fmt(distance: int) -> str:
@@ -32,11 +30,11 @@ def run(
         title="Table 6: selected anchor distances (ours / paper)",
         headers=["workload"] + list(scenarios),
     )
+    runner.prefetch_distances(workloads, scenarios)
     for workload in workloads:
         row: list[object] = [workload]
         for scenario in scenarios:
-            mapping = runner.mapping(workload, scenario)
-            distance = select_distance(contiguity_histogram(mapping))
+            distance = runner.selected_distance(workload, scenario)
             paper = PAPER_TABLE6.get(workload, {}).get(scenario)
             row.append(f"{_fmt(distance)}/{_fmt(paper) if paper else '-'}")
         report.table.append(row)
@@ -53,8 +51,5 @@ def selected_distances(
     workloads: tuple[str, ...] = WORKLOAD_ORDER,
 ) -> dict[str, int]:
     """Raw selections for one scenario (used by tests/benches)."""
-    out = {}
-    for workload in workloads:
-        mapping = runner.mapping(workload, scenario)
-        out[workload] = select_distance(contiguity_histogram(mapping))
-    return out
+    runner.prefetch_distances(workloads, (scenario,))
+    return {w: runner.selected_distance(w, scenario) for w in workloads}

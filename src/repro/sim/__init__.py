@@ -5,6 +5,13 @@ from repro.sim.trace import Trace
 from repro.sim.workloads import WORKLOADS, Workload, workload_names
 from repro.sim.engine import SimulationResult, simulate
 from repro.sim.multiprog import ProcessRun, simulate_multiprogrammed
+from repro.sim.runner import (
+    JobSpec,
+    Orchestrator,
+    ResultStore,
+    RunSummary,
+    execute_job,
+)
 
 __all__ = [
     "TranslationStats",
@@ -16,4 +23,9 @@ __all__ = [
     "simulate",
     "ProcessRun",
     "simulate_multiprogrammed",
+    "JobSpec",
+    "Orchestrator",
+    "ResultStore",
+    "RunSummary",
+    "execute_job",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.sim.stats import TranslationStats
+from repro.sim.stats import TranslationStats, canonical_json
 from repro.sim.trace import Trace
 
 #: Default epoch length in memory references.  The paper re-evaluates
@@ -81,6 +81,11 @@ class SimulationResult:
             "epoch_stats": [dict(s) for s in self.epoch_stats],
             "extras": dict(self.extras),
         }
+
+    def to_json(self) -> str:
+        """Canonical JSON of :meth:`to_dict` — the byte form compared by
+        the determinism parity tests and stored by the result cache."""
+        return canonical_json(self.to_dict())
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SimulationResult":

@@ -161,9 +161,11 @@ def mixture(
         _, stream = components[choice]
         take = min(block, length - position, len(stream) - cursors[choice])
         if take <= 0:
-            # Component exhausted; recycle it from the start.
+            # Component exhausted; recycle it from the start.  The
+            # fresh block must still fit inside the stream — short
+            # streams (tiny traces) hold fewer than ``block`` entries.
             cursors[choice] = 0
-            take = min(block, length - position)
+            take = min(block, length - position, len(stream))
         out[position : position + take] = stream[
             cursors[choice] : cursors[choice] + take
         ]

@@ -13,9 +13,30 @@ The counters follow the paper's reporting:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.params import LatencyModel
+
+
+def _json_default(value: object) -> object:
+    """Coerce numpy scalars (``.item()``) that leak into payloads."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON-serialisable: {value!r}")
+
+
+def canonical_json(payload: object) -> str:
+    """Stable JSON: sorted keys, no whitespace, numpy scalars unboxed.
+
+    This is the byte representation behind content-addressed cache keys
+    and the determinism parity tests, so it must never depend on dict
+    insertion order or on whether a counter is a Python or numpy int.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
 
 #: The raw event counters, in reporting order.  ``snapshot``/``to_dict``
 #: and the batched engine's bulk updates all iterate this tuple.
@@ -77,7 +98,7 @@ class TranslationStats:
 
     def snapshot(self) -> dict[str, int]:
         """The raw counters as a plain (JSON-safe) dict."""
-        return {name: getattr(self, name) for name in COUNTER_FIELDS}
+        return {name: int(getattr(self, name)) for name in COUNTER_FIELDS}
 
     def to_dict(self) -> dict:
         """Round-trippable dict form (see :meth:`from_dict`)."""

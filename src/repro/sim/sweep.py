@@ -85,5 +85,7 @@ def static_ideal(
         result = best.result
     result.scheme = "anchor-ideal"
     result.extras["ideal_distance"] = best.distance
-    result.extras["sweep"] = [(p.distance, p.walks) for p in points]
+    # Lists, not tuples, so the extras survive a JSON round trip through
+    # the result cache without changing shape.
+    result.extras["sweep"] = [[p.distance, p.walks] for p in points]
     return result

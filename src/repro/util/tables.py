@@ -11,6 +11,8 @@ from collections.abc import Sequence
 
 
 def _render_cell(value: object, precision: int) -> str:
+    if value is None:
+        return "-"  # a gap: the cell's job landed in the failure ledger
     if isinstance(value, float):
         return f"{value:.{precision}f}"
     return str(value)

@@ -1,0 +1,122 @@
+"""Determinism parity and cache integration for the parallel matrix.
+
+The core archetype tests of the orchestrator PR: the same matrix slice
+run with ``workers=0``, ``workers=2``, and twice against a warm cache
+must yield byte-identical ``to_dict()`` payloads, and a full fig7
+driver run with ``--workers 4`` must match the serial run and complete
+from cache with zero simulations on an immediate re-run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig7, table6
+from repro.experiments.common import (
+    STATIC_IDEAL,
+    ExperimentConfig,
+    MatrixRunner,
+)
+from repro.sim.runner import ResultStore
+from repro.sim.workloads import WORKLOAD_ORDER
+
+SLICE_WORKLOADS = ("sphinx3", "omnetpp")
+SLICE_SCHEMES = ("base", "anchor-dyn", STATIC_IDEAL)
+SLICE_CONFIG = ExperimentConfig(references=600, seed=7, ideal_subsample=8)
+
+
+def _payloads(runner: MatrixRunner) -> dict[tuple, str]:
+    """Canonical JSON bytes per resolved cell."""
+    return {cell: result.to_json() for cell, result in runner._results.items()}
+
+
+class TestDeterminismParity:
+    def test_serial_parallel_and_warm_cache_agree(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+
+        serial = MatrixRunner(SLICE_CONFIG, workers=0)
+        serial.prefetch(SLICE_WORKLOADS, ("medium",), SLICE_SCHEMES)
+        baseline = _payloads(serial)
+        assert len(baseline) == len(SLICE_WORKLOADS) * len(SLICE_SCHEMES)
+
+        parallel = MatrixRunner(SLICE_CONFIG, workers=2, store=store)
+        parallel.prefetch(SLICE_WORKLOADS, ("medium",), SLICE_SCHEMES)
+        assert _payloads(parallel) == baseline
+        assert parallel.summaries[-1].computed == len(baseline)
+
+        # Twice against the now-warm cache: byte-identical, zero computed.
+        for _ in range(2):
+            warm = MatrixRunner(SLICE_CONFIG, workers=2, store=store)
+            warm.prefetch(SLICE_WORKLOADS, ("medium",), SLICE_SCHEMES)
+            assert _payloads(warm) == baseline
+            summary = warm.summaries[-1]
+            assert summary.computed == 0
+            assert summary.cached == len(baseline)
+
+    def test_single_cell_run_agrees_with_prefetched(self, tmp_path):
+        serial = MatrixRunner(SLICE_CONFIG)
+        direct = serial.run("sphinx3", "medium", "anchor-dyn").to_json()
+
+        parallel = MatrixRunner(
+            SLICE_CONFIG, workers=2, store=ResultStore(tmp_path / "cache")
+        )
+        parallel.prefetch(("sphinx3",), ("medium",), ("anchor-dyn",))
+        via_pool = parallel._results[("sphinx3", "medium", "anchor-dyn")]
+        assert via_pool.to_json() == direct
+
+    def test_table6_distances_parallel_matches_serial(self, tmp_path):
+        serial = MatrixRunner(SLICE_CONFIG)
+        parallel = MatrixRunner(
+            SLICE_CONFIG, workers=2, store=ResultStore(tmp_path / "cache")
+        )
+        report_serial = table6.run(runner=serial, workloads=SLICE_WORKLOADS,
+                                   scenarios=("low", "medium"))
+        report_parallel = table6.run(runner=parallel,
+                                     workloads=SLICE_WORKLOADS,
+                                     scenarios=("low", "medium"))
+        assert report_serial.render() == report_parallel.render()
+
+
+class TestFig7Integration:
+    """The acceptance criterion: full fig7, parallel == serial, warm
+    cache re-run executes zero simulations."""
+
+    CONFIG = ExperimentConfig(references=300, seed=11)
+
+    def test_full_fig7_parallel_matches_serial_then_runs_from_cache(
+        self, tmp_path
+    ):
+        serial = MatrixRunner(self.CONFIG)
+        report_serial = fig7.run(runner=serial, include_ideal=False)
+
+        store = ResultStore(tmp_path / "cache")
+        parallel = MatrixRunner(self.CONFIG, workers=4, store=store)
+        report_parallel = fig7.run(runner=parallel, include_ideal=False)
+
+        # Identical results, cell by cell, at the byte level.
+        assert _payloads(parallel) == _payloads(serial)
+        assert report_parallel.render() == report_serial.render()
+        cells = len(WORKLOAD_ORDER) * len(report_serial.headers[1:])
+        assert parallel.summaries[-1].computed == cells
+        assert parallel.summaries[-1].failed == 0
+
+        # Immediate re-run: everything from cache, zero simulations.
+        warm = MatrixRunner(self.CONFIG, workers=4, store=store)
+        report_warm = fig7.run(runner=warm, include_ideal=False)
+        assert report_warm.render() == report_serial.render()
+        summary = warm.summaries[-1]
+        assert summary.computed == 0
+        assert summary.failed == 0
+        assert summary.cached == cells
+        assert store.hits >= cells
+
+    def test_cache_shared_across_runner_instances_and_schemes(self, tmp_path):
+        """fig7 cells warm the cache for any experiment sharing them."""
+        store = ResultStore(tmp_path / "cache")
+        first = MatrixRunner(self.CONFIG, store=store)
+        first.prefetch(("sphinx3",), ("demand",), ("base", "thp"))
+        second = MatrixRunner(self.CONFIG, store=store)
+        second.prefetch(("sphinx3",), ("demand",), ("base", "thp", "rmm"))
+        summary = second.summaries[-1]
+        assert summary.cached == 2
+        assert summary.computed == 1
