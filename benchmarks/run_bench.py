@@ -1,45 +1,51 @@
 #!/usr/bin/env python
 """Time the scalar engine against the batched engine on fixed seeds.
 
-Runs gups (uniform random, the TLB-hostile worst case) through each
-timed scheme under both engines, asserts the counter snapshots are
-bit-identical, and writes ``BENCH_engine.json`` next to the repo root:
+Runs gups (uniform random, the TLB-hostile worst case) through every
+registered scheme under both engines — with and without the page-walk
+caches — asserts the counter snapshots are bit-identical, and writes
+``BENCH_engine.json`` next to the repo root:
 
     PYTHONPATH=src python benchmarks/run_bench.py [--references N]
 
 The JSON records per-scheme wall-clock seconds, references/second and
-the batched-over-scalar speedup; EXPERIMENTS.md documents the
-methodology and the acceptance threshold (>= 5x on base/gups at 1M
-references).
+the batched-over-scalar speedup, one entry per ``name`` (PWC off) and
+``name+pwc`` (PWC on); EXPERIMENTS.md documents the methodology and the
+acceptance thresholds.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import time
 from pathlib import Path
 
-from repro.schemes.registry import make_scheme
+from repro.params import DEFAULT_MACHINE
+from repro.schemes.registry import make_scheme, scheme_names
 from repro.sim.engine import simulate
 from repro.sim.workloads import get_workload
 from repro.vmos.scenarios import build_mapping
 
-TIMED_SCHEMES = ("base", "thp", "anchor-dyn", "anchor-region")
+TIMED_SCHEMES = scheme_names(include_extras=True)
 MAPPING_SEED = 7
 TRACE_SEED = 11
 
 
-def bench_scheme(name: str, references: int, repeats: int) -> dict:
+def bench_scheme(name: str, references: int, repeats: int,
+                 pwc: bool = False) -> dict:
     workload = get_workload("gups")
     mapping = build_mapping(workload.vmas(), "demand", seed=MAPPING_SEED)
     trace = workload.make_trace(references, seed=TRACE_SEED)
+    machine = (dataclasses.replace(DEFAULT_MACHINE, pwc=True)
+               if pwc else DEFAULT_MACHINE)
     timings: dict[str, float] = {}
     snapshots: dict[str, dict] = {}
     for engine in ("scalar", "batched"):
         best = float("inf")
         for _ in range(repeats):
-            scheme = make_scheme(name, mapping)
+            scheme = make_scheme(name, mapping, machine)
             start = time.perf_counter()
             simulate(scheme, trace, engine=engine)
             best = min(best, time.perf_counter() - start)
@@ -51,6 +57,7 @@ def bench_scheme(name: str, references: int, repeats: int) -> dict:
             f"\n batched: {snapshots['batched']}")
     return {
         "references": references,
+        "pwc": pwc,
         "scalar_seconds": round(timings["scalar"], 4),
         "batched_seconds": round(timings["batched"], 4),
         "scalar_refs_per_sec": round(references / timings["scalar"]),
@@ -76,11 +83,13 @@ def main() -> None:
                "mapping_seed": MAPPING_SEED, "trace_seed": TRACE_SEED,
                "schemes": {}}
     for name in TIMED_SCHEMES:
-        entry = bench_scheme(name, args.references, args.repeats)
-        results["schemes"][name] = entry
-        print(f"{name:14s} scalar {entry['scalar_seconds']:7.3f}s"
-              f"  batched {entry['batched_seconds']:7.3f}s"
-              f"  speedup {entry['speedup']:5.2f}x")
+        for pwc in (False, True):
+            key = f"{name}+pwc" if pwc else name
+            entry = bench_scheme(name, args.references, args.repeats, pwc=pwc)
+            results["schemes"][key] = entry
+            print(f"{key:18s} scalar {entry['scalar_seconds']:7.3f}s"
+                  f"  batched {entry['batched_seconds']:7.3f}s"
+                  f"  speedup {entry['speedup']:5.2f}x")
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.output}")
 

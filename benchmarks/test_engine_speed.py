@@ -24,11 +24,13 @@ from run_bench import TIMED_SCHEMES, bench_scheme
 pytestmark = pytest.mark.engine_bench
 
 
+@pytest.mark.parametrize("pwc", (False, True), ids=("nopwc", "pwc"))
 @pytest.mark.parametrize("scheme_name", TIMED_SCHEMES)
-def test_engine_speedup(scheme_name, capfd):
-    entry = bench_scheme(scheme_name, BENCH_REFERENCES * 4, repeats=1)
+def test_engine_speedup(scheme_name, pwc, capfd):
+    entry = bench_scheme(scheme_name, BENCH_REFERENCES * 4, repeats=1, pwc=pwc)
     with capfd.disabled():
-        print(f"\n{scheme_name}: scalar {entry['scalar_seconds']}s, "
+        label = f"{scheme_name}+pwc" if pwc else scheme_name
+        print(f"\n{label}: scalar {entry['scalar_seconds']}s, "
               f"batched {entry['batched_seconds']}s, "
               f"speedup {entry['speedup']}x")
     # Parity is asserted inside bench_scheme; the batched engine must

@@ -18,7 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hw.tlb import FullyAssociativeTLB
+from repro.sim.lru import simulate_assoc_block
 
 # Upper-level index widths (9 bits per level).
 _L2_SHIFT = 9    # PD entry covers 2 MiB of VA
@@ -75,6 +78,59 @@ class PageWalkCache:
         if not huge:
             self._pd.insert(pd_tag, True)
         return accesses
+
+    def accesses_for_block(
+        self, vpns: np.ndarray, huge: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Batch :meth:`accesses_for` over a block of walks, in order.
+
+        ``vpns`` are the walk VPNs of one reference block in trace
+        order; ``huge`` marks the 2 MiB walks (``None`` = all 4 KiB).
+        Returns the per-walk memory-access counts and leaves the caches
+        (contents, LRU order, hit/probe counters) bit-identical to the
+        scalar loop.
+
+        Vectorisation is exact because every level is promote-or-insert
+        under the scalar flow: a level's probe may be short-circuited by
+        a deeper hit, but its refill always runs (the PD only on 4 KiB
+        walks), so after each walk the tag sits at MRU regardless of the
+        probe outcome — residency and recency per level are functions of
+        the tag stream alone, which is precisely what
+        :func:`repro.sim.lru.simulate_block` resolves.
+        """
+        n = vpns.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        filled = True
+        value_of = lambda tag: filled  # noqa: E731 — walks store True
+        pdpt_hit = simulate_assoc_block(self._pdpt, vpns >> _L3_SHIFT, value_of)
+        pml4_hit = simulate_assoc_block(self._pml4, vpns >> _L4_SHIFT, value_of)
+        pd_hit = np.zeros(n, dtype=bool)
+        if huge is None:
+            pd_hit = simulate_assoc_block(self._pd, vpns >> _L2_SHIFT, value_of)
+            huge = np.zeros(n, dtype=bool)
+        else:
+            small = ~huge
+            pd_hit[small] = simulate_assoc_block(
+                self._pd, vpns[small] >> _L2_SHIFT, value_of)
+        accesses = np.where(
+            huge,
+            np.where(pdpt_hit, 1, np.where(pml4_hit, 2, 3)),
+            np.where(pd_hit, 1,
+                     np.where(pdpt_hit, 2, np.where(pml4_hit, 3, 4))),
+        )
+        self.probes += n
+        self.hits += int(np.count_nonzero(pd_hit | pdpt_hit | pml4_hit))
+        return accesses
+
+    def state(self) -> dict[str, list]:
+        """Per-level ``(tag, value)`` pairs in LRU -> MRU order (the
+        parity suite compares batched against scalar with this)."""
+        return {
+            "pml4": self._pml4.state(),
+            "pdpt": self._pdpt.state(),
+            "pd": self._pd.state(),
+        }
 
     def flush(self) -> None:
         self._pml4.flush()

@@ -77,15 +77,33 @@ class SetAssociativeTLB:
 
 
 class FullyAssociativeTLB:
-    """A fully associative array with true LRU (used by the range TLB)."""
+    """A fully associative array with true LRU (used by the range TLB).
 
-    __slots__ = ("capacity", "_entries")
+    Exposes the same ``_sets``/``ways``/``index_mask`` surface as
+    :class:`SetAssociativeTLB` — one set holding every entry — so
+    :func:`repro.sim.lru.simulate_block` can drive it directly (the
+    batched page-walk-cache model relies on this).
+    """
+
+    __slots__ = ("capacity", "_sets")
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._entries: dict[int, object] = {}
+        self._sets: list[dict[int, object]] = [dict()]
+
+    @property
+    def _entries(self) -> dict[int, object]:
+        return self._sets[0]
+
+    @property
+    def ways(self) -> int:
+        return self.capacity
+
+    @property
+    def index_mask(self) -> int:
+        return 0
 
     def lookup(self, key: int) -> object | None:
         value = self._entries.get(key)
@@ -103,6 +121,10 @@ class FullyAssociativeTLB:
 
     def values(self):
         return list(self._entries.values())
+
+    def state(self) -> list[tuple[int, object]]:
+        """``(key, value)`` pairs in LRU -> MRU order (parity suite)."""
+        return list(self._entries.items())
 
     def flush(self) -> None:
         self._entries.clear()

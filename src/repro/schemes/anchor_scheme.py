@@ -158,8 +158,8 @@ class AnchorScheme(TranslationScheme):
         directory lookup (class, AVPN, contiguity, APPN, PFN) hoisted
         into numpy up front.
         """
-        if self.pwc is not None or vpns.shape[0] == 0:
-            return super().access_block(vpns)
+        if vpns.shape[0] == 0:
+            return
         (hg_keys, hg_vals), (sm_keys, sm_vals), (an_keys, an_vals), ok = (
             self._directory_arrays())
         if not ok:
@@ -198,6 +198,8 @@ class AnchorScheme(TranslationScheme):
         pfn_heads = np.zeros(heads.shape[0], dtype=np.int64)
         pfn_heads[is_small] = pfn_sm
         l2_small = l2_huge = coalesced = walks = 0
+        walk_vpns: list[int] = []
+        walk_huge: list[bool] = []
         rows = zip(
             mk.tolist(),
             is_huge[miss].tolist(),
@@ -220,6 +222,8 @@ class AnchorScheme(TranslationScheme):
                     l2_huge += 1
                 else:
                     walks += 1
+                    walk_vpns.append(vpn)
+                    walk_huge.append(True)
                     if len(bucket) >= ways:
                         del bucket[next(iter(bucket))]
                     bucket[key] = hb
@@ -243,6 +247,8 @@ class AnchorScheme(TranslationScheme):
                     coalesced += 1
                     continue
             walks += 1
+            walk_vpns.append(vpn)
+            walk_huge.append(False)
             if vpn - av < cont_d:
                 if akey in abucket:
                     del abucket[akey]
@@ -253,6 +259,11 @@ class AnchorScheme(TranslationScheme):
                 if len(bucket) >= ways:
                     del bucket[next(iter(bucket))]
                 bucket[skey] = pfn
+        walk_pt = 0
+        if self.pwc is not None:
+            walk_pt = self._block_walk_accesses(
+                np.asarray(walk_vpns, dtype=np.int64),
+                np.asarray(walk_huge, dtype=bool))
         self.stats.bulk_update(
             accesses=n,
             l1_hits=n - heads.shape[0] + int(np.count_nonzero(hit1)),
@@ -260,6 +271,7 @@ class AnchorScheme(TranslationScheme):
             l2_huge_hits=l2_huge,
             coalesced_hits=coalesced,
             walks=walks,
+            walk_pt_accesses=walk_pt,
         )
 
     # ------------------------------------------------------------------
@@ -304,7 +316,8 @@ class AnchorScheme(TranslationScheme):
         anchors = self.directory.anchors_spanning(vpn)
         pfn = self.directory.note_unmap(vpn)
         self.mapping.unmap_page(vpn)
-        self._ground_truth.pop(vpn, None)
+        # Incremental maintenance stands in for the default full flush.
+        self._synced_version = self.mapping.version
         self._shootdown_page(vpn, anchors)
         return pfn
 
@@ -312,7 +325,7 @@ class AnchorScheme(TranslationScheme):
         """Map one 4 KiB page, merging it into surrounding anchor runs."""
         self.directory.note_map(vpn, pfn)
         self.mapping.map_page(vpn, pfn)
-        self._ground_truth[vpn] = pfn
+        self._synced_version = self.mapping.version
         # Stale anchors around the new page now under-report contiguity;
         # invalidate them so refills pick up the merged runs.
         self._shootdown_page(vpn, self.directory.anchors_spanning(vpn))
@@ -322,17 +335,25 @@ class AnchorScheme(TranslationScheme):
         anchors = self.directory.anchors_spanning(vpn)
         self.directory.note_protect(vpn, prot)
         self.mapping.set_protection(vpn, 1, prot)
+        self._synced_version = self.mapping.version
         self._shootdown_page(vpn, anchors)
 
     def rebuild(self, mapping: MemoryMapping) -> None:
         """Adopt an updated mapping (allocation/relocation), flushing TLBs."""
         self.mapping = mapping
-        self._ground_truth = mapping.as_dict()
+        self._synced_version = mapping.version
         self.directory = AnchorDirectory.build(mapping, self.distance, self.enable_thp)
         self._invalidate_block_cache()
         self.flush()
 
-    def translate(self, vpn: int) -> int:
+    def _on_mapping_update(self, frozen) -> None:
+        """External mapping mutation: replan coverage, then flush."""
+        self.directory = AnchorDirectory.build(
+            self.mapping, self.distance, self.enable_thp)
+        self._invalidate_block_cache()
+        self.flush()
+
+    def _translate(self, vpn: int) -> int:
         directory = self.directory
         huge_base = directory.huge.get((vpn >> _HUGE_SHIFT) << _HUGE_SHIFT)
         if huge_base is not None:

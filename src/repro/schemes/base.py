@@ -21,8 +21,6 @@ Two declared capabilities replace the old duck typing:
 from __future__ import annotations
 
 import abc
-import warnings
-from collections.abc import Iterable
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -32,7 +30,7 @@ from repro.params import DEFAULT_MACHINE, HUGE_PAGE_PAGES, MachineConfig
 from repro.hw.l1 import L1TLB
 from repro.hw.pwc import PageWalkCache
 from repro.sim.stats import TranslationStats
-from repro.vmos.mapping import MemoryMapping
+from repro.vmos.mapping import FrozenMapping, MemoryMapping
 
 
 @runtime_checkable
@@ -75,7 +73,44 @@ class TranslationScheme(abc.ABC):
         self.l1 = L1TLB(config)
         self.pwc = PageWalkCache() if config.pwc else None
         self.stats = TranslationStats(latency=config.latency)
-        self._ground_truth = mapping.as_dict()
+        self._synced_version = mapping.version
+
+    # ------------------------------------------------------------------
+    # Mapping-version synchronisation (§3.3 shootdown semantics)
+    # ------------------------------------------------------------------
+
+    def sync_mapping(self) -> None:
+        """Adopt any mapping mutations since the last sync.
+
+        Schemes compile views of the mapping (promotion maps, sorted
+        arrays, range tables) that go stale when the OS mutates it
+        (compaction, shootdown paths, experiment hooks).  The engine
+        calls this at every epoch boundary — under both the batched and
+        the scalar engine, so parity is preserved — and :meth:`translate`
+        calls it per query.  A version change triggers
+        :meth:`_on_mapping_update` exactly once.
+
+        Schemes that maintain their structures incrementally through
+        their own mutators (e.g. ``AnchorScheme.unmap_page``) resync
+        ``_synced_version`` themselves and never see the full rebuild.
+        """
+        version = self.mapping.version
+        if version != self._synced_version:
+            self._synced_version = version
+            self._on_mapping_update(self.mapping.frozen())
+
+    def _on_mapping_update(self, frozen: FrozenMapping) -> None:
+        """React to a mapping mutation (default: full TLB shootdown).
+
+        Subclasses that derive state from the mapping (promotion maps,
+        membership arrays, range tables) override this to rebuild those
+        snapshots, then call ``super()._on_mapping_update(frozen)`` (or
+        :meth:`flush` directly) — resident TLB entries may translate
+        through frames the OS just remapped, and
+        :func:`repro.sim.lru.simulate_block`'s ``value_of`` contract
+        requires resident values to match the current mapping.
+        """
+        self.flush()
 
     # ------------------------------------------------------------------
 
@@ -91,33 +126,13 @@ class TranslationScheme(abc.ABC):
         overrides must stay bit-identical to the scalar loop (the
         parity suite in ``tests/sim/test_engine_parity.py`` enforces
         it) and must fall back to this implementation whenever an exact
-        fast path is unavailable (page-walk caches enabled, unmapped
-        pages in the block).
+        fast path is unavailable — in practice only when the block
+        contains an unmapped page, so the per-reference loop raises the
+        page fault at exactly the right reference.
         """
         access = self.access
         for vpn in vpns.tolist():
             access(vpn)
-
-    def run(self, trace: Iterable[int]) -> TranslationStats:
-        """Deprecated: drive traces through ``repro.sim.engine.simulate``.
-
-        ``run()`` predates the engine: it skips epochs (so OS-managed
-        schemes never re-plan coverage) and checks conservation with
-        different timing than ``simulate()``.  It remains only as a
-        shim for old call sites.
-        """
-        warnings.warn(
-            "TranslationScheme.run() is deprecated; use "
-            "repro.sim.engine.simulate(scheme, trace), which drives "
-            "epochs and the batched fast path",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        access = self.access
-        for vpn in trace:
-            access(int(vpn))
-        self.stats.check_conservation()
-        return self.stats
 
     def flush(self) -> None:
         """Flush all TLB state (context switch / shootdown)."""
@@ -138,13 +153,28 @@ class TranslationScheme(abc.ABC):
         self.stats.walk_pt_accesses += accesses
         return self.config.latency.walk_step * accesses
 
+    def _block_walk_accesses(
+        self, walk_vpns: np.ndarray, huge: np.ndarray | None = None
+    ) -> int:
+        """Page-table accesses for one block's walks (0 with PWC off).
+
+        Fast paths feed every completed walk of the block — in trace
+        order, with 2 MiB walks flagged — through the batched page-walk
+        caches and pass the total to ``bulk_update`` as
+        ``walk_pt_accesses``, matching the scalar :meth:`_walk_cycles`
+        accounting exactly.
+        """
+        if self.pwc is None or walk_vpns.shape[0] == 0:
+            return 0
+        return int(self.pwc.accesses_for_block(walk_vpns, huge).sum())
+
     # ------------------------------------------------------------------
     # Verification helpers
     # ------------------------------------------------------------------
 
     def translate_checked(self, vpn: int) -> int:
         """Translate and assert agreement with the ground-truth mapping."""
-        expected = self._ground_truth.get(vpn)
+        expected = self.mapping.get(vpn)
         if expected is None:
             raise PageFaultError(f"vpn {vpn:#x} not mapped")
         actual = self.translate(vpn)
@@ -154,9 +184,20 @@ class TranslationScheme(abc.ABC):
             )
         return actual
 
-    @abc.abstractmethod
     def translate(self, vpn: int) -> int:
-        """Pure translation via the scheme's structures (no stats)."""
+        """Pure translation via the scheme's structures (no stats).
+
+        Syncs against the current mapping version first, so a caller
+        that mutated the mapping after constructing the scheme reads
+        through fresh coverage structures (the stale-snapshot hazard the
+        version counter exists to close).
+        """
+        self.sync_mapping()
+        return self._translate(vpn)
+
+    @abc.abstractmethod
+    def _translate(self, vpn: int) -> int:
+        """Scheme-specific translation; caller has synced the mapping."""
 
 
 def promote_giga_pages(

@@ -13,7 +13,7 @@ from repro.errors import PageFaultError
 from repro.params import DEFAULT_MACHINE, MachineConfig
 from repro.hw.tlb import SetAssociativeTLB
 from repro.schemes.base import TranslationScheme
-from repro.sim.lru import SortedMembership, collapse_runs, simulate_block
+from repro.sim.lru import collapse_runs, simulate_block
 from repro.vmos.mapping import MemoryMapping
 
 
@@ -29,8 +29,10 @@ class BaselineScheme(TranslationScheme):
     ) -> None:
         super().__init__(mapping, config)
         self.l2 = SetAssociativeTLB(config.l2.entries, config.l2.ways)
-        self._small = mapping.as_dict()
-        self._mapped: SortedMembership | None = None
+        # Live reference to the page table (not a copy): scalar lookups
+        # always see the current mapping, and the compiled array view
+        # comes version-checked from mapping.frozen() per block.
+        self._small = mapping.frozen().page_table
 
     def access(self, vpn: int) -> int:
         stats = self.stats
@@ -56,12 +58,10 @@ class BaselineScheme(TranslationScheme):
         LRU arrays keyed by the VPN, so the whole block resolves with
         two :func:`simulate_block` passes (L1, then the L1 misses
         through the L2)."""
-        if self.pwc is not None or vpns.shape[0] == 0:
-            return super().access_block(vpns)
+        if vpns.shape[0] == 0:
+            return
         heads = collapse_runs(vpns)
-        if self._mapped is None:
-            self._mapped = SortedMembership(self._small)
-        if not self._mapped.contains_all(heads):
+        if not self.mapping.frozen().contains_all(heads):
             # An unmapped page in the block: the scalar loop raises the
             # page fault at exactly the right reference.
             return super().access_block(vpns)
@@ -70,14 +70,16 @@ class BaselineScheme(TranslationScheme):
         miss1 = heads[~hit1]
         hit2 = simulate_block(self.l2, miss1, miss1, small.__getitem__)
         l2_hits = int(np.count_nonzero(hit2))
+        walk_vpns = miss1[~hit2]
         self.stats.bulk_update(
             accesses=vpns.shape[0],
             l1_hits=vpns.shape[0] - heads.shape[0] + int(np.count_nonzero(hit1)),
             l2_small_hits=l2_hits,
-            walks=miss1.shape[0] - l2_hits,
+            walks=walk_vpns.shape[0],
+            walk_pt_accesses=self._block_walk_accesses(walk_vpns),
         )
 
-    def translate(self, vpn: int) -> int:
+    def _translate(self, vpn: int) -> int:
         pfn = self._small.get(vpn)
         if pfn is None:
             raise PageFaultError(f"vpn {vpn:#x} not mapped")

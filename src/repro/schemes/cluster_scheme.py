@@ -16,21 +16,27 @@ paper calls out in §5.2.1: when a workload's mapping clusters poorly the
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import PageFaultError
 from repro.params import (
     CLUSTER_CLUSTERED,
+    CLUSTER_FACTOR,
     CLUSTER_REGULAR,
     DEFAULT_MACHINE,
     MachineConfig,
 )
-from repro.hw.cluster import ClusterTLB, build_cluster_entry
+from repro.hw.cluster import ClusterEntry, ClusterTLB, build_cluster_entry
 from repro.hw.tlb import SetAssociativeTLB
 from repro.schemes.base import TranslationScheme, promote_huge_pages
+from repro.sim.lru import collapse_runs, lookup_sorted, simulate_block, sorted_arrays
 from repro.vmos.mapping import MemoryMapping
 
 _HUGE_SHIFT = 9
 _KIND_SMALL = 0
 _KIND_HUGE = 1
+_CLUSTER_SHIFT = 3  # log2(CLUSTER_FACTOR)
+_CLUSTER_MASK = CLUSTER_FACTOR - 1
 
 
 class ClusterScheme(TranslationScheme):
@@ -50,10 +56,26 @@ class ClusterScheme(TranslationScheme):
             self.name = "cluster2mb"
         self.regular = SetAssociativeTLB(CLUSTER_REGULAR.entries, CLUSTER_REGULAR.ways)
         self.clustered = ClusterTLB(CLUSTER_CLUSTERED)
-        if use_thp:
-            self._huge, self._small = promote_huge_pages(mapping)
+        self._build_promotions()
+
+    def _build_promotions(self) -> None:
+        """(Re-)derive the promotion split from the current mapping."""
+        if self.use_thp:
+            self._huge, self._small = promote_huge_pages(self.mapping)
         else:
-            self._huge, self._small = {}, mapping.as_dict()
+            # Live reference to the page table — never goes stale.
+            self._huge, self._small = {}, self.mapping.frozen().page_table
+        self._arrays: tuple | None = None
+
+    def _on_mapping_update(self, frozen) -> None:
+        self._build_promotions()
+        self.flush()
+
+    def _sorted_views(self) -> tuple:
+        if self._arrays is None:
+            self._arrays = (sorted_arrays(self._small),
+                            sorted_arrays(self._huge))
+        return self._arrays
 
     def access(self, vpn: int) -> int:
         stats = self.stats
@@ -99,7 +121,146 @@ class ClusterScheme(TranslationScheme):
         self.l1.fill_small(vpn, pfn)
         return self._walk_cycles(vpn)
 
-    def translate(self, vpn: int) -> int:
+    def access_block(self, vpns: np.ndarray) -> None:
+        """Vectorised fast path.
+
+        The L1 arrays are promote-or-insert (every head ends up filled
+        with its true translation), so they resolve with
+        :func:`simulate_block`.  The partitioned L2 does *not*: a walk
+        fills the clustered side only when the built entry clusters
+        (coverage > 1) and the regular side otherwise, so neither array
+        is promote-or-insert over its own probe stream.  The L1 misses
+        therefore replay through an exact Python loop, with every
+        per-reference lookup — page-size class, PFN, and the 8-slot
+        cluster-coverage computation a walk's fill logic would perform —
+        hoisted into numpy up front.
+        """
+        if vpns.shape[0] == 0:
+            return
+        (sm_keys, sm_vals), (hg_keys, hg_vals) = self._sorted_views()
+        heads = collapse_runs(vpns)
+        n = vpns.shape[0]
+        hvpn = heads >> _HUGE_SHIFT
+        hbase, is_huge = lookup_sorted(hg_keys, hg_vals, hvpn << _HUGE_SHIFT)
+        is_small = ~is_huge
+        small_heads = heads[is_small]
+        pfn_sm, found = lookup_sorted(sm_keys, sm_vals, small_heads)
+        if not found.all():
+            # An unmapped page: the scalar loop faults at the right spot.
+            return super().access_block(vpns)
+
+        huge = self._huge
+        small = self._small
+        hit1 = np.empty(heads.shape[0], dtype=bool)
+        hit1[is_small] = simulate_block(
+            self.l1.small, small_heads, small_heads, small.__getitem__)
+        hv = hvpn[is_huge]
+        huge_value = lambda h: huge[h << _HUGE_SHIFT]  # noqa: E731
+        hit1[is_huge] = simulate_block(self.l1.huge, hv, hv, huge_value)
+
+        miss = ~hit1
+        mk = heads[miss]
+        pfn_heads = np.zeros(heads.shape[0], dtype=np.int64)
+        pfn_heads[is_small] = pfn_sm
+        pfn = pfn_heads[miss]
+        vclusters = mk >> _CLUSTER_SHIFT
+        pcluster = pfn >> _CLUSTER_SHIFT
+        # The entry a walk would build: which of the missing page's 8
+        # line slots land in its physical cluster.
+        slot_vpns = ((vclusters << _CLUSTER_SHIFT)[:, None]
+                     + np.arange(CLUSTER_FACTOR, dtype=np.int64)).ravel()
+        npfn, nfound = lookup_sorted(sm_keys, sm_vals, slot_vpns)
+        npfn = npfn.reshape(-1, CLUSTER_FACTOR)
+        valid = (nfound.reshape(-1, CLUSTER_FACTOR)
+                 & ((npfn >> _CLUSTER_SHIFT) == pcluster[:, None]))
+        coverage = valid.sum(axis=1)
+        offsets = np.where(valid, npfn & _CLUSTER_MASK, -1)
+
+        r_ways = self.regular.ways
+        r_mask = self.regular.index_mask
+        r_sets = self.regular._sets
+        c_ways = self.clustered.array.ways
+        c_mask = self.clustered.array.index_mask
+        c_sets = self.clustered.array._sets
+        l2_small = l2_huge = coalesced = walks = 0
+        walk_vpns: list[int] = []
+        walk_huge: list[bool] = []
+        rows = zip(
+            mk.tolist(),
+            is_huge[miss].tolist(),
+            (hvpn[miss] & r_mask).tolist(),
+            hbase[miss].tolist(),
+            pfn.tolist(),
+            vclusters.tolist(),
+            coverage.tolist(),
+            offsets.tolist(),
+        )
+        for vpn, huge_row, hidx, hb, pfn_row, vc, cov, offs in rows:
+            if huge_row:
+                bucket = r_sets[hidx]
+                key = ((vpn >> _HUGE_SHIFT) << 1) | _KIND_HUGE
+                value = bucket.get(key)
+                if value is not None:
+                    del bucket[key]
+                    bucket[key] = value
+                    l2_huge += 1
+                else:
+                    walks += 1
+                    walk_vpns.append(vpn)
+                    walk_huge.append(True)
+                    if len(bucket) >= r_ways:
+                        del bucket[next(iter(bucket))]
+                    bucket[key] = hb
+                continue
+            bucket = r_sets[vpn & r_mask]
+            skey = vpn << 1  # | _KIND_SMALL
+            value = bucket.get(skey)
+            if value is not None:
+                del bucket[skey]
+                bucket[skey] = value
+                l2_small += 1
+                continue
+            cbucket = c_sets[vc & c_mask]
+            entry = cbucket.get(vc)
+            if entry is not None:
+                # The probe touches LRU even on an uncovered slot.
+                del cbucket[vc]
+                cbucket[vc] = entry
+                if entry.offsets[vpn & _CLUSTER_MASK] is not None:
+                    coalesced += 1
+                    continue
+            walks += 1
+            walk_vpns.append(vpn)
+            walk_huge.append(False)
+            if cov > 1:
+                new = ClusterEntry(
+                    vc, (pfn_row >> _CLUSTER_SHIFT) << _CLUSTER_SHIFT,
+                    tuple(o if o >= 0 else None for o in offs))
+                if vc in cbucket:
+                    del cbucket[vc]
+                elif len(cbucket) >= c_ways:
+                    del cbucket[next(iter(cbucket))]
+                cbucket[vc] = new
+            else:
+                if len(bucket) >= r_ways:
+                    del bucket[next(iter(bucket))]
+                bucket[skey] = pfn_row
+        walk_pt = 0
+        if self.pwc is not None:
+            walk_pt = self._block_walk_accesses(
+                np.asarray(walk_vpns, dtype=np.int64),
+                np.asarray(walk_huge, dtype=bool))
+        self.stats.bulk_update(
+            accesses=n,
+            l1_hits=n - heads.shape[0] + int(np.count_nonzero(hit1)),
+            l2_small_hits=l2_small,
+            l2_huge_hits=l2_huge,
+            coalesced_hits=coalesced,
+            walks=walks,
+            walk_pt_accesses=walk_pt,
+        )
+
+    def _translate(self, vpn: int) -> int:
         base = self._huge.get((vpn >> _HUGE_SHIFT) << _HUGE_SHIFT)
         if base is not None:
             return base + (vpn & ((1 << _HUGE_SHIFT) - 1))

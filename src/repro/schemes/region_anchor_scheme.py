@@ -67,7 +67,11 @@ class RegionAnchorScheme(TranslationScheme):
             raise ValueError("more regions than the region table holds")
         self.regions = sorted(regions, key=lambda r: r.start_vpn)
         self.l2 = SetAssociativeTLB(config.l2.entries, config.l2.ways)
-        # Per-region coverage plans over the region's slice of the map.
+        self._build_directories()
+
+    def _build_directories(self) -> None:
+        """Per-region coverage plans over the region's slice of the map."""
+        mapping = self.mapping
         self._directories: list[AnchorDirectory] = []
         self._dlogs: list[int] = []
         for region in self.regions:
@@ -80,6 +84,11 @@ class RegionAnchorScheme(TranslationScheme):
             )
             self._dlogs.append(region.distance.bit_length() - 1)
         self._block_cache = None
+
+    def _on_mapping_update(self, frozen) -> None:
+        """External mapping mutation: replan every region, then flush."""
+        self._build_directories()
+        self.flush()
 
     # ------------------------------------------------------------------
 
@@ -191,8 +200,8 @@ class RegionAnchorScheme(TranslationScheme):
         conditional anchor-vs-small fills break the promote-or-insert
         property — replays exactly in a Python loop.
         """
-        if self.pwc is not None or vpns.shape[0] == 0:
-            return super().access_block(vpns)
+        if vpns.shape[0] == 0:
+            return
         starts, ends, dlogs, hg, sm, an, huge_d, small_d, ok = (
             self._merged_arrays())
         if not ok or starts.size == 0:
@@ -231,6 +240,8 @@ class RegionAnchorScheme(TranslationScheme):
         pfn_heads = np.zeros(heads.shape[0], dtype=np.int64)
         pfn_heads[is_small] = pfn_sm
         l2_small = l2_huge = coalesced = walks = 0
+        walk_vpns: list[int] = []
+        walk_huge: list[bool] = []
         rows = zip(
             mk.tolist(),
             is_huge[miss].tolist(),
@@ -253,6 +264,8 @@ class RegionAnchorScheme(TranslationScheme):
                     l2_huge += 1
                 else:
                     walks += 1
+                    walk_vpns.append(vpn)
+                    walk_huge.append(True)
                     if len(bucket) >= ways:
                         del bucket[next(iter(bucket))]
                     bucket[key] = hb
@@ -276,6 +289,8 @@ class RegionAnchorScheme(TranslationScheme):
                     coalesced += 1
                     continue
             walks += 1
+            walk_vpns.append(vpn)
+            walk_huge.append(False)
             if vpn - av < cont_d:
                 if akey in abucket:
                     del abucket[akey]
@@ -286,6 +301,11 @@ class RegionAnchorScheme(TranslationScheme):
                 if len(bucket) >= ways:
                     del bucket[next(iter(bucket))]
                 bucket[skey] = pfn
+        walk_pt = 0
+        if self.pwc is not None:
+            walk_pt = self._block_walk_accesses(
+                np.asarray(walk_vpns, dtype=np.int64),
+                np.asarray(walk_huge, dtype=bool))
         self.stats.bulk_update(
             accesses=n,
             l1_hits=n - heads.shape[0] + int(np.count_nonzero(hit1)),
@@ -293,9 +313,10 @@ class RegionAnchorScheme(TranslationScheme):
             l2_huge_hits=l2_huge,
             coalesced_hits=coalesced,
             walks=walks,
+            walk_pt_accesses=walk_pt,
         )
 
-    def translate(self, vpn: int) -> int:
+    def _translate(self, vpn: int) -> int:
         index = self._region_index(vpn)
         if index is None:
             raise PageFaultError(f"vpn {vpn:#x} outside every region")

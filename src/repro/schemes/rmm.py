@@ -13,11 +13,14 @@ degenerates to THP (Fig. 2), which is the paper's core motivation.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import PageFaultError
 from repro.params import DEFAULT_MACHINE, MachineConfig
 from repro.hw.range_tlb import RangeTable, RangeTLB
 from repro.hw.tlb import SetAssociativeTLB
 from repro.schemes.base import TranslationScheme, promote_huge_pages
+from repro.sim.lru import collapse_runs, lookup_sorted, simulate_block, sorted_arrays
 from repro.vmos.mapping import MemoryMapping
 
 _HUGE_SHIFT = 9
@@ -38,8 +41,23 @@ class RMMScheme(TranslationScheme):
         super().__init__(mapping, config)
         self.l2 = SetAssociativeTLB(config.l2.entries, config.l2.ways)
         self.range_tlb = RangeTLB()
-        self.range_table = RangeTable(mapping)
-        self._huge, self._small = promote_huge_pages(mapping)
+        self._build_os_views()
+
+    def _build_os_views(self) -> None:
+        """(Re-)derive the OS-side structures from the current mapping."""
+        self.range_table = RangeTable(self.mapping)
+        self._huge, self._small = promote_huge_pages(self.mapping)
+        self._arrays: tuple | None = None
+
+    def _on_mapping_update(self, frozen) -> None:
+        self._build_os_views()
+        self.flush()
+
+    def _sorted_views(self) -> tuple:
+        if self._arrays is None:
+            self._arrays = (sorted_arrays(self._small),
+                            sorted_arrays(self._huge))
+        return self._arrays
 
     def access(self, vpn: int) -> int:
         stats = self.stats
@@ -92,7 +110,133 @@ class RMMScheme(TranslationScheme):
         if entry is not None:
             self.range_tlb.insert(entry)
 
-    def translate(self, vpn: int) -> int:
+    def access_block(self, vpns: np.ndarray) -> None:
+        """Vectorised fast path.
+
+        The L1 arrays resolve with :func:`simulate_block`; the L2 and
+        the range TLB do not — they are *interlocked* (a range hit
+        suppresses the L2 refill, and only walks refill the range TLB),
+        so neither is promote-or-insert over its own probe stream.  The
+        L1 misses replay through an exact Python loop with the
+        per-reference lookups (page-size class, PFN, covering chunk)
+        hoisted into numpy.  The range-TLB scan reduces to one dict
+        probe: resident ranges are disjoint chunks of the current
+        mapping keyed by their start VPN, so the only entry that can
+        cover a VPN is its own chunk's.
+        """
+        if vpns.shape[0] == 0:
+            return
+        frozen = self.mapping.frozen()
+        (sm_keys, sm_vals), (hg_keys, hg_vals) = self._sorted_views()
+        heads = collapse_runs(vpns)
+        n = vpns.shape[0]
+        hvpn = heads >> _HUGE_SHIFT
+        hbase, is_huge = lookup_sorted(hg_keys, hg_vals, hvpn << _HUGE_SHIFT)
+        is_small = ~is_huge
+        small_heads = heads[is_small]
+        pfn_sm, found = lookup_sorted(sm_keys, sm_vals, small_heads)
+        if not found.all():
+            # An unmapped page: the scalar loop faults at the right spot.
+            return super().access_block(vpns)
+
+        huge = self._huge
+        small = self._small
+        hit1 = np.empty(heads.shape[0], dtype=bool)
+        hit1[is_small] = simulate_block(
+            self.l1.small, small_heads, small_heads, small.__getitem__)
+        hv = hvpn[is_huge]
+        huge_value = lambda h: huge[h << _HUGE_SHIFT]  # noqa: E731
+        hit1[is_huge] = simulate_block(self.l1.huge, hv, hv, huge_value)
+
+        miss = ~hit1
+        mk = heads[miss]
+        pfn_heads = np.zeros(heads.shape[0], dtype=np.int64)
+        pfn_heads[is_small] = pfn_sm
+        cid = frozen.chunk_of(mk)
+        cstart = frozen.chunk_vpn[cid] if cid.size else cid
+        ranges = self.range_table.ranges()
+        rentries = self.range_tlb._entries
+        r_cap = self.range_tlb.capacity
+        ways = self.l2.ways
+        imask = self.l2.index_mask
+        buckets = self.l2._sets
+        l2_small = l2_huge = coalesced = walks = 0
+        walk_vpns: list[int] = []
+        walk_huge: list[bool] = []
+        rows = zip(
+            mk.tolist(),
+            is_huge[miss].tolist(),
+            (hvpn[miss] & imask).tolist(),
+            hbase[miss].tolist(),
+            pfn_heads[miss].tolist(),
+            cstart.tolist(),
+            cid.tolist(),
+        )
+        for vpn, huge_row, hidx, hb, pfn_row, cs, ci in rows:
+            if huge_row:
+                bucket = buckets[hidx]
+                key = ((vpn >> _HUGE_SHIFT) << 1) | _KIND_HUGE
+                value = bucket.get(key)
+                if value is not None:
+                    del bucket[key]
+                    bucket[key] = value
+                    l2_huge += 1
+                    continue
+                entry = rentries.get(cs)
+                if entry is not None:
+                    del rentries[cs]
+                    rentries[cs] = entry
+                    coalesced += 1
+                    continue
+                walks += 1
+                walk_vpns.append(vpn)
+                walk_huge.append(True)
+                if len(bucket) >= ways:
+                    del bucket[next(iter(bucket))]
+                bucket[key] = hb
+            else:
+                bucket = buckets[vpn & imask]
+                skey = vpn << 1  # | _KIND_SMALL
+                value = bucket.get(skey)
+                if value is not None:
+                    del bucket[skey]
+                    bucket[skey] = value
+                    l2_small += 1
+                    continue
+                entry = rentries.get(cs)
+                if entry is not None:
+                    del rentries[cs]
+                    rentries[cs] = entry
+                    coalesced += 1
+                    continue
+                walks += 1
+                walk_vpns.append(vpn)
+                walk_huge.append(False)
+                if len(bucket) >= ways:
+                    del bucket[next(iter(bucket))]
+                bucket[skey] = pfn_row
+            # Walk completed: refill the range TLB from the OS table.
+            if cs in rentries:
+                del rentries[cs]
+            elif len(rentries) >= r_cap:
+                del rentries[next(iter(rentries))]
+            rentries[cs] = ranges[ci]
+        walk_pt = 0
+        if self.pwc is not None:
+            walk_pt = self._block_walk_accesses(
+                np.asarray(walk_vpns, dtype=np.int64),
+                np.asarray(walk_huge, dtype=bool))
+        self.stats.bulk_update(
+            accesses=n,
+            l1_hits=n - heads.shape[0] + int(np.count_nonzero(hit1)),
+            l2_small_hits=l2_small,
+            l2_huge_hits=l2_huge,
+            coalesced_hits=coalesced,
+            walks=walks,
+            walk_pt_accesses=walk_pt,
+        )
+
+    def _translate(self, vpn: int) -> int:
         base = self._huge.get((vpn >> _HUGE_SHIFT) << _HUGE_SHIFT)
         if base is not None:
             return base + (vpn & ((1 << _HUGE_SHIFT) - 1))

@@ -57,6 +57,12 @@ class THPScheme(TranslationScheme):
             self.l2_giga = SetAssociativeTLB(
                 config.l2_1g.entries, config.l2_1g.ways
             )
+        self._build_promotions()
+
+    def _build_promotions(self) -> None:
+        """(Re-)derive the promotion maps from the current mapping."""
+        mapping = self.mapping
+        if self.use_giga:
             self._giga, rest = promote_giga_pages(mapping)
             partial = MemoryMapping(vmas=list(mapping.vmas))
             for vpn, pfn in sorted(rest.items()):
@@ -66,6 +72,12 @@ class THPScheme(TranslationScheme):
             self._giga = {}
             self._huge, self._small = promote_huge_pages(mapping)
         self._memberships: tuple[SortedMembership, ...] | None = None
+
+    def _on_mapping_update(self, frozen) -> None:
+        # The OS re-promotes after the change; stale promotion windows
+        # must not survive in the membership arrays or the TLBs.
+        self._build_promotions()
+        self.flush()
 
     def access(self, vpn: int) -> int:
         stats = self.stats
@@ -120,14 +132,15 @@ class THPScheme(TranslationScheme):
     def access_block(self, vpns: np.ndarray) -> None:
         """Vectorised fast path.
 
-        Page-size classification is static (the promotion maps never
-        change), so each reference's L1 array and L2 key are known up
+        Page-size classification is static within a block (the
+        promotion maps only change at mapping-sync points between
+        blocks), so each reference's L1 array and L2 key are known up
         front; every probe then promotes-or-inserts its own key, which
         is exactly what :func:`simulate_block` models.  The shared L2
         sees the 4 KiB and 2 MiB streams interleaved in original order.
         """
-        if self.pwc is not None or vpns.shape[0] == 0:
-            return super().access_block(vpns)
+        if vpns.shape[0] == 0:
+            return
         if self._memberships is None:
             self._memberships = (
                 SortedMembership(self._small),
@@ -183,6 +196,18 @@ class THPScheme(TranslationScheme):
         huge_kind = (l2_keys & 1).astype(bool)
         l2_small_hits = int(np.count_nonzero(hit2 & ~huge_kind))
         l2_huge_hits = int(np.count_nonzero(hit2 & huge_kind))
+        walk_pt = 0
+        if self.pwc is not None:
+            # The page-walk caches see every completed walk, from both
+            # the shared and the giga side, merged back into head order.
+            walk_flags = np.zeros(heads.shape[0], dtype=bool)
+            walk_flags[np.flatnonzero(shared)[~hit2]] = True
+            walk_huge = is_huge.copy()
+            if is_giga is not None:
+                walk_flags[np.flatnonzero(is_giga)[~hit1_g][~hit2_g]] = True
+                walk_huge |= is_giga
+            walk_pt = self._block_walk_accesses(
+                heads[walk_flags], walk_huge[walk_flags])
         self.stats.bulk_update(
             accesses=vpns.shape[0],
             l1_hits=(vpns.shape[0] - heads.shape[0]
@@ -191,6 +216,7 @@ class THPScheme(TranslationScheme):
             l2_huge_hits=l2_huge_hits + l2_giga_hits,
             walks=(l2_keys.shape[0] - l2_small_hits - l2_huge_hits
                    + giga_walks),
+            walk_pt_accesses=walk_pt,
         )
 
     def _l2_value(self, key: int):
@@ -198,7 +224,7 @@ class THPScheme(TranslationScheme):
             return self._huge[(key >> 1) << _HUGE_SHIFT]
         return self._small[key >> 1]
 
-    def translate(self, vpn: int) -> int:
+    def _translate(self, vpn: int) -> int:
         giga_base = self._giga.get((vpn >> _GIGA_SHIFT) << _GIGA_SHIFT)
         if giga_base is not None:
             return giga_base + (vpn & ((1 << _GIGA_SHIFT) - 1))

@@ -140,6 +140,10 @@ def simulate(
     epoch_stats: list[dict] = []
     while position < total:
         end = min(position + epoch_references, total)
+        # Adopt any mapping mutations (on_epoch hooks, compaction)
+        # before the block runs — same point under both engines, so
+        # scalar and batched stay bit-identical.
+        scheme.sync_mapping()
         step(vpns[position:end])
         position = end
         epochs += 1

@@ -48,6 +48,8 @@ __all__ = [
     "collapse_runs",
     "isin_sorted",
     "lookup_sorted",
+    "previous_occurrence",
+    "simulate_assoc_block",
     "simulate_block",
     "sorted_arrays",
 ]
@@ -172,6 +174,34 @@ def _sort_with_positions(
     return combo, positions
 
 
+def previous_occurrence(keys: np.ndarray) -> np.ndarray:
+    """``prev[i]``: position of the previous occurrence of ``keys[i]``
+    in the block, or -1.
+
+    Used by fast paths whose per-access outcome depends on the *last
+    same-key access* rather than on array residency alone (e.g. CoLT,
+    where a resident coalesced entry covers the probe iff the probe
+    shares a contiguity run with the entry's builder).  Keys must be
+    non-negative.
+    """
+    n = keys.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int32)
+    s_keys, s_pos = _sort_with_positions(keys, int(keys.max()))
+    s_pos = s_pos.astype(np.int32, copy=False)
+    prev = np.empty(n, dtype=np.int32)
+    prev[s_pos[1:]] = np.where(
+        s_keys[1:] == s_keys[:-1], s_pos[:-1], np.int32(-1))
+    prev[s_pos[0]] = -1
+    return prev
+
+
+def simulate_assoc_block(tlb, keys: np.ndarray, value_of):
+    """:func:`simulate_block` over a fully associative array (one set)."""
+    return simulate_block(
+        tlb, np.zeros(keys.shape[0], dtype=np.int64), keys, value_of)
+
+
 def simulate_block(tlb, set_indices: np.ndarray, keys: np.ndarray, value_of):
     """Drive ``(set_indices[i], keys[i])`` accesses through ``tlb``.
 
@@ -238,35 +268,67 @@ def simulate_block(tlb, set_indices: np.ndarray, keys: np.ndarray, value_of):
     # from key i (whose own prev is older still) — a certain eviction.
     w_start = idx - np.int32(ways)
     w_max = np.full(total, -1, dtype=np.int32)
-    for w in range(1, ways + 1):
-        np.maximum(w_max[w:], prev[:-w], out=w_max[w:])
+    if ways > 4 and total > ways:
+        # van Herk / Gil-Werman: sliding-window max in three passes
+        # (block prefix/suffix maxima) instead of `ways` shifted passes.
+        # -1 padding is neutral (prev >= -1 everywhere).
+        pad = (-total) % ways
+        padded = (np.concatenate([prev, np.full(pad, -1, dtype=np.int32)])
+                  if pad else prev)
+        blocks = padded.reshape(-1, ways)
+        prefix = np.maximum.accumulate(blocks, axis=1).ravel()
+        suffix = np.maximum.accumulate(
+            blocks[:, ::-1], axis=1)[:, ::-1].ravel()
+        # max over the closed window [j - ways + 1, j] ...
+        win = np.maximum(suffix[:total - ways + 1], prefix[ways - 1:total])
+        # ... shifted so w_max[i] covers [i - ways, i - 1].
+        w_max[ways:] = win[:total - ways]
+    else:
+        for w in range(1, ways + 1):
+            np.maximum(w_max[w:], prev[:-w], out=w_max[w:])
     certain_miss = (prev < 0) | (
         (gap > ways) & (w_start >= seg_start) & (w_max < w_start))
 
     g_hits = certain_hit
-    step_cap = 16 * ways
-    for i in np.flatnonzero(~(certain_hit | certain_miss)).tolist():
-        # Exact resolution: key i survives iff fewer than `ways`
-        # distinct keys were accessed since its previous occurrence.
-        # The walk normally stops within ~`ways` steps (each step
-        # either adds a distinct key or repeats one); long same-key
-        # runs escape to one np.unique over the whole window.
-        p = int(prev[i])
-        distinct = set()
-        hit = True
-        steps = 0
-        for j in range(i - 1, p, -1):
-            k = g_keys[j]
-            if k not in distinct:
-                distinct.add(k)
-                if len(distinct) >= ways:
-                    hit = False
-                    break
-            steps += 1
-            if steps >= step_cap:
-                hit = bool(np.unique(g_keys[p + 1:i]).size < ways)
-                break
-        g_hits[i] = hit
+    # Exact resolution of the remainder: key i survives iff fewer than
+    # `ways` distinct keys were accessed since its previous occurrence.
+    # Resolved in vectorised rounds over each unresolved access's
+    # trailing window [lo, i): the distinct-key count there equals the
+    # number of positions whose own prev falls before lo (their first
+    # occurrence inside the window), so a gather of `prev` plus a
+    # comparison replaces sorting the keys themselves.  >= `ways`
+    # distinct in any subwindow is a certain miss; < `ways` over the
+    # whole (prev, i) range is a hit; anything still open re-runs with
+    # a wider window (the population shrinks geometrically, so a
+    # handful of rounds suffice).
+    unresolved = np.flatnonzero(~(certain_hit | certain_miss)).astype(np.int32)
+    length = max(ways, 2)
+    while unresolved.size:
+        p = prev[unresolved]
+        span = unresolved - p - 1          # positions strictly inside (p, i)
+        take = np.minimum(span, length)
+        lo = unresolved - take
+        offs = np.arange(1, length + 1, dtype=np.int32)
+        pos = unresolved[:, None] - offs[None, :]
+        if length == max(ways, 2):
+            # First round: span >= ways everywhere (gap > ways), so the
+            # window never needs masking.
+            distinct = (prev[pos] < lo[:, None]).sum(axis=1)
+        else:
+            distinct = ((prev[np.maximum(pos, 0)] < lo[:, None])
+                        & (offs[None, :] <= take[:, None])).sum(axis=1)
+        is_miss = distinct >= ways
+        is_hit = ~is_miss & (take == span)
+        g_hits[unresolved[is_hit]] = True
+        unresolved = unresolved[~(is_miss | is_hit)]
+        length *= 8
+        if length > (1 << 16) and unresolved.size:
+            # Degenerate streams (enormous same-key windows): one exact
+            # scan per straggler.
+            for i in unresolved.tolist():
+                start = prev[i] + 1
+                g_hits[i] = bool((prev[start:i] < start).sum() < ways)
+            break
 
     # Scatter hits back to the caller's positions (prefix rows drop).
     if n0:

@@ -80,6 +80,7 @@ def simulate_multiprogrammed(
                     run.scheme.flush()
                     result.flushes += 1
             end = min(run.position + quantum, len(run.trace))
+            run.scheme.sync_mapping()
             run.scheme.access_block(run.trace.vpns[run.position:end])
             run.position = end
             previous = run

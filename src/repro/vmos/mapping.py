@@ -10,7 +10,10 @@ histogram, and ground-truth translation for the differential tests.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import MappingError, PageFaultError
 from repro.mem.frames import FrameRange
@@ -34,6 +37,145 @@ class Chunk:
 DEFAULT_PROT = 0b11
 
 
+class FrozenMapping:
+    """A compiled, read-only view of one :class:`MemoryMapping` version.
+
+    The batched engine needs the mapping as numpy arrays (bulk
+    ``searchsorted`` translation, run lookups) rather than as a dict;
+    compiling that view per reference block would dominate the fast
+    path, and the per-scheme ``as_dict()`` snapshots it replaces went
+    silently stale when the mapping mutated.  A ``FrozenMapping`` is
+    compiled once per :attr:`MemoryMapping.version` and shared by every
+    scheme over the same mapping (see :meth:`MemoryMapping.frozen`);
+    consumers compare ``frozen.version`` against ``mapping.version`` to
+    detect staleness (``TranslationScheme.sync_mapping`` does exactly
+    that).
+
+    Two run decompositions are exposed because the hardware models need
+    both:
+
+    * **chunks** — maximal VA/PA-contiguous runs *split at protection
+      changes*, identical to :meth:`MemoryMapping.chunks` (what RMM's
+      range table and the anchor directory see);
+    * **runs** — maximal VA/PA-contiguous runs ignoring protection
+      (what CoLT/cluster fill logic sees: ``build_colt_entry`` inspects
+      raw PTE adjacency only).
+    """
+
+    __slots__ = (
+        "version",
+        "page_table",
+        "vpns",
+        "pfns",
+        "chunk_vpn",
+        "chunk_pfn",
+        "chunk_pages",
+        "run_vpn",
+        "run_pfn",
+        "run_pages",
+        "_contiguous",
+    )
+
+    def __init__(self, mapping: "MemoryMapping") -> None:
+        self.version = mapping.version
+        #: Direct reference to the live page table (no copy).  Safe to
+        #: read only while ``mapping.version == self.version``; any
+        #: mutation bumps the version and invalidates this view.
+        self.page_table = mapping._map
+        count = len(mapping._map)
+        vpns = np.fromiter(mapping._map.keys(), dtype=np.int64, count=count)
+        pfns = np.fromiter(mapping._map.values(), dtype=np.int64, count=count)
+        order = np.argsort(vpns)
+        self.vpns = vpns[order]
+        self.pfns = pfns[order]
+        self._contiguous = bool(
+            count and int(self.vpns[-1]) - int(self.vpns[0]) + 1 == count
+        )
+        chunks = mapping.chunks()
+        self.chunk_vpn = np.fromiter(
+            (c.vpn for c in chunks), dtype=np.int64, count=len(chunks))
+        self.chunk_pfn = np.fromiter(
+            (c.pfn for c in chunks), dtype=np.int64, count=len(chunks))
+        self.chunk_pages = np.fromiter(
+            (c.pages for c in chunks), dtype=np.int64, count=len(chunks))
+        # Protection-blind adjacency runs over the sorted page arrays.
+        if count:
+            boundary = np.empty(count, dtype=bool)
+            boundary[0] = True
+            np.not_equal(self.vpns[1:], self.vpns[:-1] + 1, out=boundary[1:])
+            boundary[1:] |= self.pfns[1:] != self.pfns[:-1] + 1
+            starts = np.flatnonzero(boundary)
+            self.run_vpn = self.vpns[starts]
+            self.run_pfn = self.pfns[starts]
+            self.run_pages = np.diff(np.append(starts, count))
+        else:
+            self.run_vpn = self.vpns
+            self.run_pfn = self.pfns
+            self.run_pages = self.vpns
+
+    def __len__(self) -> int:
+        return self.vpns.shape[0]
+
+    # -- bulk queries ---------------------------------------------------
+
+    def translate_block(self, vpns: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised translation: ``(pfns, found)`` per query."""
+        if self.vpns.size == 0:
+            return (np.zeros(vpns.shape, dtype=np.int64),
+                    np.zeros(vpns.shape, dtype=bool))
+        idx = np.searchsorted(self.vpns, vpns)
+        idx[idx == self.vpns.size] = 0
+        found = self.vpns[idx] == vpns
+        return np.where(found, self.pfns[idx], 0), found
+
+    def mask(self, vpns: np.ndarray) -> np.ndarray:
+        """Per-element mapped-ness."""
+        if self.vpns.size == 0:
+            return np.zeros(vpns.shape, dtype=bool)
+        if self._contiguous:
+            return (vpns >= self.vpns[0]) & (vpns <= self.vpns[-1])
+        return self.translate_block(vpns)[1]
+
+    def contains_all(self, vpns: np.ndarray) -> bool:
+        """True when every query is mapped (the fast-path pre-check)."""
+        if vpns.size == 0:
+            return True
+        if self.vpns.size == 0:
+            return False
+        if self._contiguous:
+            return (int(vpns.min()) >= int(self.vpns[0])
+                    and int(vpns.max()) <= int(self.vpns[-1]))
+        return bool(self.mask(vpns).all())
+
+    def _interval_of(
+        self, starts: np.ndarray, pages: np.ndarray, vpns: np.ndarray
+    ) -> np.ndarray:
+        if starts.size == 0:
+            return np.full(vpns.shape, -1, dtype=np.int64)
+        idx = np.searchsorted(starts, vpns, side="right") - 1
+        clipped = np.maximum(idx, 0)
+        inside = (idx >= 0) & (vpns < starts[clipped] + pages[clipped])
+        return np.where(inside, clipped, -1)
+
+    def run_of(self, vpns: np.ndarray) -> np.ndarray:
+        """Index into ``run_*`` of each query's adjacency run (-1 if
+        unmapped)."""
+        return self._interval_of(self.run_vpn, self.run_pages, vpns)
+
+    def chunk_of(self, vpns: np.ndarray) -> np.ndarray:
+        """Index into ``chunk_*`` of each query's chunk (-1 if unmapped);
+        chunk order matches :meth:`MemoryMapping.chunks`."""
+        return self._interval_of(self.chunk_vpn, self.chunk_pages, vpns)
+
+    # -- scalar queries -------------------------------------------------
+
+    def get(self, vpn: int) -> int | None:
+        return self.page_table.get(vpn)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self.page_table
+
+
 @dataclass
 class MemoryMapping:
     """VPN -> PFN map for a process, with chunk-structure queries.
@@ -48,10 +190,22 @@ class MemoryMapping:
     _map: dict[int, int] = field(default_factory=dict)
     _prot: dict[int, int] = field(default_factory=dict)
     _chunks_cache: list[Chunk] | None = field(default=None, repr=False)
+    #: Monotonic mutation counter.  Every map/unmap/mprotect bumps it;
+    #: compiled views (:class:`FrozenMapping`, scheme-side snapshots)
+    #: carry the version they were built from and must be refreshed
+    #: when it no longer matches (compaction and shootdown paths mutate
+    #: mappings long after the schemes were constructed).
+    version: int = field(default=0, compare=False)
+    _frozen_cache: FrozenMapping | None = field(
+        default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+
+    def _mutated(self) -> None:
+        self._chunks_cache = None
+        self.version += 1
 
     def map_page(self, vpn: int, pfn: int, prot: int = DEFAULT_PROT) -> None:
         if vpn in self._map:
@@ -59,7 +213,7 @@ class MemoryMapping:
         self._map[vpn] = pfn
         if prot != DEFAULT_PROT:
             self._prot[vpn] = prot
-        self._chunks_cache = None
+        self._mutated()
 
     def map_run(self, vpn: int, frames: FrameRange, prot: int = DEFAULT_PROT) -> None:
         """Map ``frames.count`` consecutive VPNs to a contiguous run."""
@@ -72,7 +226,7 @@ class MemoryMapping:
         except KeyError:
             raise MappingError(f"vpn {vpn:#x} not mapped") from None
         self._prot.pop(vpn, None)
-        self._chunks_cache = None
+        self._mutated()
         return pfn
 
     def set_protection(self, vpn: int, pages: int, prot: int) -> None:
@@ -88,7 +242,7 @@ class MemoryMapping:
                 self._prot.pop(vpn + i, None)
             else:
                 self._prot[vpn + i] = prot
-        self._chunks_cache = None
+        self._mutated()
 
     def protection_of(self, vpn: int) -> int:
         return self._prot.get(vpn, DEFAULT_PROT)
@@ -121,8 +275,31 @@ class MemoryMapping:
         yield from sorted(self._map.items())
 
     def as_dict(self) -> dict[int, int]:
-        """A copy of the raw map (used by the fast simulator path)."""
+        """Deprecated: a copy of the raw map.
+
+        The per-scheme copies this fed were both a hot-path cost and a
+        stale-cache hazard (never invalidated on mutation).  Schemes now
+        read through :meth:`frozen`, which shares one compiled view per
+        mapping version; iteration callers should use :meth:`items`.
+        """
+        warnings.warn(
+            "MemoryMapping.as_dict() is deprecated; use frozen() for "
+            "version-checked compiled views or items() for iteration",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return dict(self._map)
+
+    def frozen(self) -> FrozenMapping:
+        """The compiled view of the current version (cached, shared).
+
+        Rebuilt lazily after any mutation; every scheme over this
+        mapping gets the same object, so the sorted arrays are compiled
+        once per version rather than once per scheme.
+        """
+        if self._frozen_cache is None or self._frozen_cache.version != self.version:
+            self._frozen_cache = FrozenMapping(self)
+        return self._frozen_cache
 
     # ------------------------------------------------------------------
     # Chunk structure

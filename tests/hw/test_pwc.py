@@ -1,5 +1,6 @@
 """Tests for the page-walk caches (MMU caches)."""
 
+import numpy as np
 import pytest
 
 from repro.hw.pwc import PageWalkCache, PWCGeometry
@@ -61,6 +62,69 @@ class TestPWC:
         pwc.accesses_for(0)
         pwc.flush()
         assert pwc.accesses_for(1) == 4
+
+
+class TestPWCBatch:
+    """``accesses_for_block`` must be bit-identical to the scalar model."""
+
+    @staticmethod
+    def _random_walks(seed, n=400):
+        rng = np.random.default_rng(seed)
+        # Cluster the stream so every level sees hits AND misses.
+        base = rng.integers(0, 1 << 22, size=8)
+        vpns = base[rng.integers(0, base.size, size=n)] + rng.integers(
+            0, 1 << 11, size=n)
+        huge = rng.random(n) < 0.3
+        return vpns.astype(np.int64), huge
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scalar(self, seed):
+        vpns, huge = self._random_walks(seed)
+        scalar = PageWalkCache()
+        expected = np.asarray(
+            [scalar.accesses_for(int(v), huge=bool(h))
+             for v, h in zip(vpns, huge)], dtype=np.int64)
+        batched = PageWalkCache()
+        got = batched.accesses_for_block(vpns, huge)
+        assert np.array_equal(got, expected)
+        assert (batched.hits, batched.probes) == (scalar.hits, scalar.probes)
+        assert batched.state() == scalar.state()
+
+    def test_huge_none_means_all_small(self):
+        vpns, _ = self._random_walks(11, n=150)
+        scalar = PageWalkCache()
+        expected = [scalar.accesses_for(int(v)) for v in vpns]
+        batched = PageWalkCache()
+        got = batched.accesses_for_block(vpns)
+        assert got.tolist() == expected
+        assert batched.state() == scalar.state()
+
+    def test_warm_state_carries_across_blocks(self):
+        vpns, huge = self._random_walks(3)
+        scalar = PageWalkCache()
+        expected = [scalar.accesses_for(int(v), huge=bool(h))
+                    for v, h in zip(vpns, huge)]
+        batched = PageWalkCache()
+        got = np.concatenate([
+            batched.accesses_for_block(vpns[:137], huge[:137]),
+            batched.accesses_for_block(vpns[137:], huge[137:]),
+        ])
+        assert got.tolist() == expected
+        assert batched.state() == scalar.state()
+
+    def test_empty_block(self):
+        pwc = PageWalkCache()
+        assert pwc.accesses_for_block(np.zeros(0, dtype=np.int64)).size == 0
+        assert pwc.probes == 0
+
+    def test_capacity_eviction_in_batch(self):
+        geom = PWCGeometry(pd_entries=2, pdpt_entries=1, pml4_entries=1)
+        vpns, huge = self._random_walks(7, n=200)
+        scalar = PageWalkCache(geom)
+        expected = [scalar.accesses_for(int(v), huge=bool(h))
+                    for v, h in zip(vpns, huge)]
+        batched = PageWalkCache(geom)
+        assert batched.accesses_for_block(vpns, huge).tolist() == expected
 
 
 class TestPWCInSchemes:

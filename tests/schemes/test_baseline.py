@@ -51,10 +51,10 @@ class TestBaseline:
         assert stats.accesses == 500
         stats.check_conservation()
 
-    def test_run_is_deprecated(self, contiguous_mapping, make_trace):
+    def test_run_is_removed(self, contiguous_mapping):
+        # The deprecated run() shim was deleted; simulate() is the API.
         scheme = BaselineScheme(contiguous_mapping)
-        with pytest.deprecated_call():
-            scheme.run(make_trace([0x1000, 0x1001]))
+        assert not hasattr(scheme, "run")
 
     def test_capacity_thrash(self, contiguous_mapping, tiny_machine):
         # 256 pages round-robin over a 32-entry L2: every access misses.

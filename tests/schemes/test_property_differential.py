@@ -82,6 +82,61 @@ class TestRandomMappingDifferential:
             assert scheme.translate(vpn) == mapping.translate(vpn)
         scheme.stats.check_conservation()
 
+    @pytest.mark.parametrize(
+        "scheme_name", ("colt", "cluster", "cluster2mb", "rmm", "prefetch"))
+    @given(data=mapping_and_trace(), pwc=st.booleans(),
+           fault_at=st.one_of(st.none(), st.integers(0, 119)))
+    @settings(max_examples=20, deadline=None)
+    def test_batched_matches_scalar(self, scheme_name, data, pwc, fault_at):
+        """The newly batched schemes replay bit-identically: counters,
+        per-set LRU state, PWC state — including the page-fault-mid-block
+        fallback, which must fault at exactly the same reference."""
+        import dataclasses
+
+        from repro.errors import PageFaultError
+
+        mapping, trace = data
+        if fault_at is not None:
+            hole = max(vpn for vpn, _ in mapping.items()) + 10_000
+            trace = list(trace)
+            trace.insert(min(fault_at, len(trace)), hole)
+        machine = dataclasses.replace(TINY, pwc=True) if pwc else TINY
+        outputs = []
+        for mode in ("scalar", "batched"):
+            scheme = make_scheme(scheme_name, mapping, machine)
+            faulted = None
+            try:
+                if mode == "scalar":
+                    scheme.sync_mapping()
+                    for vpn in trace:
+                        scheme.access(vpn)
+                else:
+                    scheme.sync_mapping()
+                    scheme.access_block(np.asarray(trace, dtype=np.int64))
+            except PageFaultError:
+                faulted = scheme.stats.accesses
+            state = {
+                "stats": scheme.stats.snapshot(),
+                "faulted": faulted,
+                "l1": scheme.l1.state(),
+            }
+            for attr in ("l2", "regular"):
+                obj = getattr(scheme, attr, None)
+                if obj is not None and hasattr(obj, "state"):
+                    state[attr] = obj.state()
+            if hasattr(scheme, "clustered"):
+                state["clustered"] = scheme.clustered.array.state()
+            if hasattr(scheme, "range_tlb"):
+                state["range"] = list(scheme.range_tlb._entries.items())
+            if hasattr(scheme, "_prefetched"):
+                state["prefetched"] = sorted(scheme._prefetched)
+            if scheme.pwc is not None:
+                state["pwc"] = (scheme.pwc.state(), scheme.pwc.hits,
+                                scheme.pwc.probes)
+            outputs.append(state)
+        assert outputs[0] == outputs[1]
+        assert (fault_at is None) == (outputs[0]["faulted"] is None)
+
     @given(data=mapping_and_trace())
     @settings(max_examples=20, deadline=None)
     def test_miss_counts_bounded_by_baseline_plus_conflicts(self, data):

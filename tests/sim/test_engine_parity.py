@@ -9,12 +9,15 @@ of the same machine, not an approximation.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.params import DEFAULT_MACHINE
+from repro.schemes.base import TranslationScheme
 from repro.schemes.registry import make_scheme, scheme_names
 from repro.sim.engine import DEFAULT_EPOCH_REFERENCES, SimulationResult, simulate
 from repro.sim.trace import Trace
@@ -22,7 +25,8 @@ from repro.vmos.scenarios import build_mapping
 from repro.vmos.vma import AllocationSite, layout_vmas
 
 #: schemes with a vectorised access_block (state must also match).
-OPTIMIZED = {"base", "thp", "thp1g", "anchor-dyn", "anchor-region"}
+#: Since the universal-engine work this is every registered scheme.
+OPTIMIZED = set(scheme_names(include_extras=True))
 
 SCENARIOS = ("demand", "eager", "low")
 
@@ -51,6 +55,24 @@ def l2_state(scheme):
     return array.state() if hasattr(array, "state") else None
 
 
+def hw_state(scheme):
+    """Every piece of stateful hardware a scheme owns, LRU order and all."""
+    state = {"l1": scheme.l1.state(), "l2": l2_state(scheme)}
+    if hasattr(scheme, "regular"):
+        state["regular"] = scheme.regular.state()
+    if hasattr(scheme, "clustered"):
+        state["clustered"] = scheme.clustered.array.state()
+    if hasattr(scheme, "range_tlb"):
+        state["range_tlb"] = list(scheme.range_tlb._entries.items())
+    if hasattr(scheme, "_prefetched"):
+        state["prefetched"] = sorted(scheme._prefetched)
+        state["prefetch"] = (scheme.prefetches_issued, scheme.prefetch_hits)
+    if scheme.pwc is not None:
+        state["pwc"] = scheme.pwc.state()
+        state["pwc_counters"] = (scheme.pwc.hits, scheme.pwc.probes)
+    return state
+
+
 def run_engine(scheme_name, mapping, trace, machine, engine, epoch):
     scheme = make_scheme(scheme_name, mapping, machine)
     result = simulate(scheme, trace, epoch_references=epoch, engine=engine)
@@ -70,8 +92,7 @@ class TestGoldenParity:
             outputs[engine] = (
                 scheme.stats.snapshot(),
                 result.epoch_stats,
-                scheme.l1.state(),
-                l2_state(scheme) if scheme_name in OPTIMIZED else None,
+                hw_state(scheme),
             )
         assert outputs["batched"] == outputs["scalar"]
 
@@ -86,7 +107,69 @@ class TestGoldenParity:
                 epoch=8000)
             outputs[engine] = (
                 scheme.stats.snapshot(), result.epoch_stats,
-                scheme.l1.state(), l2_state(scheme))
+                hw_state(scheme))
+        assert outputs["batched"] == outputs["scalar"]
+
+    @pytest.mark.parametrize("scheme_name", sorted(OPTIMIZED))
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_pwc_parity(self, scheme_name, scenario, tiny_machine):
+        """With page-walk caches on, the batched PWC model must match the
+        scalar one access for access — counters and per-level LRU state."""
+        machine = dataclasses.replace(tiny_machine, pwc=True)
+        mapping = build_mapping(parity_vmas(), scenario, seed=29)
+        trace = mapped_trace(mapping, 6000, seed=31)
+        outputs = {}
+        for engine in ("scalar", "batched"):
+            scheme, result = run_engine(
+                scheme_name, mapping, trace, machine, engine, epoch=2500)
+            assert scheme.pwc is not None
+            outputs[engine] = (
+                scheme.stats.snapshot(), result.epoch_stats, hw_state(scheme))
+        assert outputs["batched"] == outputs["scalar"]
+        # PWC runs charge per-step walk cycles, so the walks must have
+        # recorded their page-table accesses.
+        if outputs["batched"][0]["walks"]:
+            assert outputs["batched"][0]["walk_pt_accesses"] > 0
+
+    @pytest.mark.parametrize("scheme_name", sorted(OPTIMIZED))
+    def test_no_scalar_fallback_with_pwc(self, scheme_name, tiny_machine,
+                                         monkeypatch):
+        """Fault-free blocks must stay on the fast path even with the PWC
+        enabled — no scheme may silently fall back to the scalar loop."""
+        calls = []
+
+        def spy(self, vpns):
+            calls.append(self.name)
+            for vpn in vpns.tolist():
+                self.access(int(vpn))
+
+        monkeypatch.setattr(TranslationScheme, "access_block", spy)
+        machine = dataclasses.replace(tiny_machine, pwc=True)
+        mapping = build_mapping(parity_vmas(), "demand", seed=37)
+        trace = mapped_trace(mapping, 4000, seed=41)
+        scheme = make_scheme(scheme_name, mapping, machine)
+        simulate(scheme, trace, epoch_references=1000, engine="batched")
+        assert calls == []
+
+    @pytest.mark.parametrize("scheme_name", sorted(OPTIMIZED))
+    def test_fault_mid_block_parity(self, scheme_name, tiny_machine):
+        """An unmapped page mid-block: both engines must raise the page
+        fault at the same reference with identical stats and state."""
+        from repro.errors import PageFaultError
+
+        mapping = build_mapping(parity_vmas(), "demand", seed=43)
+        vpns = np.fromiter((vpn for vpn, _ in mapping.items()), dtype=np.int64)
+        unmapped = int(vpns.max()) + 100_000
+        rng = np.random.default_rng(47)
+        picks = vpns[rng.integers(0, vpns.size, size=900)]
+        picks[700] = unmapped  # fault mid-way through an epoch block
+        trace = Trace(picks, 2700, "faulty")
+        outputs = {}
+        for engine in ("scalar", "batched"):
+            scheme = make_scheme(scheme_name, mapping, tiny_machine)
+            with pytest.raises(PageFaultError):
+                simulate(scheme, trace, epoch_references=400, engine=engine)
+            outputs[engine] = (scheme.stats.snapshot(), hw_state(scheme))
         assert outputs["batched"] == outputs["scalar"]
 
     @settings(max_examples=15, deadline=None)
@@ -119,8 +202,7 @@ class TestGoldenParity:
         for engine in ("scalar", "batched"):
             scheme, _ = run_engine(
                 scheme_name, mapping, trace, tiny_machine, engine, epoch=1000)
-            outputs[engine] = (
-                scheme.stats.snapshot(), scheme.l1.state(), l2_state(scheme))
+            outputs[engine] = (scheme.stats.snapshot(), hw_state(scheme))
         assert outputs["batched"] == outputs["scalar"]
 
 

@@ -46,10 +46,11 @@ class TestMappingBasics:
         m.map_page(1, 10)
         assert list(m.items()) == [(1, 10), (5, 50)]
 
-    def test_as_dict_is_copy(self):
+    def test_as_dict_is_deprecated_copy(self):
         m = MemoryMapping()
         m.map_page(1, 2)
-        d = m.as_dict()
+        with pytest.deprecated_call():
+            d = m.as_dict()
         d[1] = 99
         assert m.translate(1) == 2
 
@@ -112,3 +113,71 @@ class TestChunks:
         for chunk in chunks:
             for i in range(chunk.pages):
                 assert m.translate(chunk.vpn + i) == chunk.pfn + i
+
+
+class TestFrozenMapping:
+    @staticmethod
+    def _fragmented():
+        m = MemoryMapping()
+        m.map_run(10, FrameRange(100, 5))
+        m.map_run(20, FrameRange(200, 8))
+        m.map_run(28, FrameRange(300, 3))   # VA-adjacent, PA break
+        m.map_run(40, FrameRange(311, 4))
+        m.set_protection(22, 2, 0b01)       # protection island mid-run
+        return m
+
+    def test_translate_block_matches_scalar(self):
+        import numpy as np
+
+        m = self._fragmented()
+        frozen = m.frozen()
+        queries = np.arange(0, 60, dtype=np.int64)
+        pfns, found = frozen.translate_block(queries)
+        for q, p, f in zip(queries.tolist(), pfns.tolist(), found.tolist()):
+            assert f == (q in m)
+            if f:
+                assert p == m.translate(q)
+        assert frozen.mask(queries).tolist() == found.tolist()
+        assert not frozen.contains_all(queries)
+        assert frozen.contains_all(queries[found])
+
+    def test_chunks_split_at_protection_runs_do_not(self):
+        import numpy as np
+
+        m = self._fragmented()
+        frozen = m.frozen()
+        # chunk_* mirrors mapping.chunks() (protection-aware) ...
+        chunks = m.chunks()
+        assert frozen.chunk_vpn.tolist() == [c.vpn for c in chunks]
+        assert frozen.chunk_pages.tolist() == [c.pages for c in chunks]
+        # ... while run_* ignores protection: [20, 28) stays one run.
+        runs = dict(zip(frozen.run_vpn.tolist(), frozen.run_pages.tolist()))
+        assert runs[20] == 8
+        assert any(c.vpn == 22 for c in chunks)
+        # Interval lookups agree with membership.
+        probe = np.asarray([10, 14, 15, 21, 27, 28, 41, 99], dtype=np.int64)
+        run_idx = frozen.run_of(probe)
+        chunk_idx = frozen.chunk_of(probe)
+        for q, r, c in zip(probe.tolist(), run_idx.tolist(), chunk_idx.tolist()):
+            assert (r >= 0) == (q in m)
+            assert (c >= 0) == (q in m)
+            if c >= 0:
+                assert m.chunk_covering(q).vpn == int(frozen.chunk_vpn[c])
+
+    def test_page_table_is_live_reference(self):
+        m = self._fragmented()
+        frozen = m.frozen()
+        assert frozen.page_table is m._map
+        assert frozen.get(10) == 100
+        assert 10 in frozen and 9 not in frozen
+        assert len(frozen) == m.mapped_pages
+
+    def test_empty_mapping(self):
+        import numpy as np
+
+        frozen = MemoryMapping().frozen()
+        queries = np.asarray([1, 2], dtype=np.int64)
+        assert not frozen.contains_all(queries)
+        assert frozen.mask(queries).tolist() == [False, False]
+        assert frozen.run_of(queries).tolist() == [-1, -1]
+        assert len(frozen) == 0
