@@ -10,8 +10,9 @@ caches — asserts the counter snapshots are bit-identical, and writes
 
 The JSON records per-scheme wall-clock seconds, references/second and
 the batched-over-scalar speedup, one entry per ``name`` (PWC off) and
-``name+pwc`` (PWC on); EXPERIMENTS.md documents the methodology and the
-acceptance thresholds.
+``name+pwc`` (PWC on), plus the trace-generation time and the process's
+peak RSS; EXPERIMENTS.md documents the methodology and the acceptance
+thresholds.
 """
 
 from __future__ import annotations
@@ -25,7 +26,10 @@ from pathlib import Path
 from repro.params import DEFAULT_MACHINE
 from repro.schemes.registry import make_scheme, scheme_names
 from repro.sim.engine import simulate
+from repro.sim.trace import Trace
 from repro.sim.workloads import get_workload
+from repro.util.proc import peak_rss_bytes
+from repro.vmos.mapping import MemoryMapping
 from repro.vmos.scenarios import build_mapping
 
 TIMED_SCHEMES = scheme_names(include_extras=True)
@@ -33,11 +37,9 @@ MAPPING_SEED = 7
 TRACE_SEED = 11
 
 
-def bench_scheme(name: str, references: int, repeats: int,
-                 pwc: bool = False) -> dict:
-    workload = get_workload("gups")
-    mapping = build_mapping(workload.vmas(), "demand", seed=MAPPING_SEED)
-    trace = workload.make_trace(references, seed=TRACE_SEED)
+def bench_scheme(name: str, mapping: MemoryMapping, trace: Trace,
+                 repeats: int, pwc: bool = False) -> dict:
+    references = trace.references
     machine = (dataclasses.replace(DEFAULT_MACHINE, pwc=True)
                if pwc else DEFAULT_MACHINE)
     timings: dict[str, float] = {}
@@ -79,17 +81,30 @@ def main() -> None:
     if args.references <= 0 or args.repeats <= 0:
         parser.error("--references and --repeats must be positive")
 
+    workload = get_workload("gups")
+    mapping = build_mapping(workload.vmas(), "demand", seed=MAPPING_SEED)
+    # Trace generation is part of every cold experiment run, so the
+    # bench records it alongside the per-scheme engine timings.
+    start = time.perf_counter()
+    trace = workload.make_trace(args.references, seed=TRACE_SEED)
+    trace_seconds = time.perf_counter() - start
+
     results = {"workload": "gups", "scenario": "demand",
                "mapping_seed": MAPPING_SEED, "trace_seed": TRACE_SEED,
+               "trace_generation_seconds": round(trace_seconds, 4),
+               "trace_refs_per_sec": round(args.references / trace_seconds),
                "schemes": {}}
+    print(f"trace generation: {args.references} refs in {trace_seconds:.3f}s")
     for name in TIMED_SCHEMES:
         for pwc in (False, True):
             key = f"{name}+pwc" if pwc else name
-            entry = bench_scheme(name, args.references, args.repeats, pwc=pwc)
+            entry = bench_scheme(name, mapping, trace, args.repeats, pwc=pwc)
             results["schemes"][key] = entry
             print(f"{key:18s} scalar {entry['scalar_seconds']:7.3f}s"
                   f"  batched {entry['batched_seconds']:7.3f}s"
                   f"  speedup {entry['speedup']:5.2f}x")
+    results["peak_rss_bytes"] = peak_rss_bytes()
+    print(f"peak rss: {results['peak_rss_bytes'] / 2**20:.1f} MiB")
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.output}")
 

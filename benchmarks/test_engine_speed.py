@@ -19,15 +19,25 @@ from pathlib import Path
 import pytest
 
 from conftest import BENCH_REFERENCES
-from run_bench import TIMED_SCHEMES, bench_scheme
+from run_bench import MAPPING_SEED, TIMED_SCHEMES, TRACE_SEED, bench_scheme
+
+from repro.sim.workloads import get_workload
+from repro.vmos.scenarios import build_mapping
 
 pytestmark = pytest.mark.engine_bench
+
+
+def _bench_inputs(references):
+    workload = get_workload("gups")
+    mapping = build_mapping(workload.vmas(), "demand", seed=MAPPING_SEED)
+    return mapping, workload.make_trace(references, seed=TRACE_SEED)
 
 
 @pytest.mark.parametrize("pwc", (False, True), ids=("nopwc", "pwc"))
 @pytest.mark.parametrize("scheme_name", TIMED_SCHEMES)
 def test_engine_speedup(scheme_name, pwc, capfd):
-    entry = bench_scheme(scheme_name, BENCH_REFERENCES * 4, repeats=1, pwc=pwc)
+    mapping, trace = _bench_inputs(BENCH_REFERENCES * 4)
+    entry = bench_scheme(scheme_name, mapping, trace, repeats=1, pwc=pwc)
     with capfd.disabled():
         label = f"{scheme_name}+pwc" if pwc else scheme_name
         print(f"\n{label}: scalar {entry['scalar_seconds']}s, "
@@ -40,7 +50,8 @@ def test_engine_speedup(scheme_name, pwc, capfd):
 
 def test_write_bench_json(tmp_path):
     # Smoke-check the JSON writer on a short trace.
-    out = {"schemes": {n: bench_scheme(n, 20_000, repeats=1)
+    mapping, trace = _bench_inputs(20_000)
+    out = {"schemes": {n: bench_scheme(n, mapping, trace, repeats=1)
                        for n in TIMED_SCHEMES[:1]}}
     path = tmp_path / "BENCH_engine.json"
     path.write_text(json.dumps(out, indent=2))

@@ -21,6 +21,11 @@ class ConfigurationError(ReproError):
     """An invalid hardware or experiment configuration."""
 
 
+class TraceFormatError(ReproError):
+    """A persisted trace file exists but does not parse as one
+    (truncated write, wrong members, garbage bytes)."""
+
+
 class OrchestrationError(ReproError):
     """Invalid use of the experiment orchestrator, or state corruption
     (e.g. a memoised mapping whose content digest no longer matches)."""

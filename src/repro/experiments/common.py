@@ -35,6 +35,7 @@ from repro.sim.runner import (
     trace_digest,
 )
 from repro.sim.trace import Trace
+from repro.sim.trace_store import TraceStore
 from repro.sim.workloads import WORKLOAD_ORDER, get_workload
 from repro.schemes.registry import SCHEME_ORDER
 from repro.vmos.contiguity import contiguity_histogram
@@ -70,6 +71,10 @@ class MatrixRunner:
     ``N`` worker processes.  With a ``store`` (or ``cache_dir``),
     completed cells persist as content-addressed JSON and later runs —
     including runs of *other* experiments sharing cells — skip them.
+    A ``cache_dir`` also implies a :class:`TraceStore` under
+    ``<cache_dir>/traces``: each distinct (workload, references, seed)
+    trace is generated once, persisted, and memory-mapped by every
+    scheme, worker, and later run that needs it.
     """
 
     def __init__(
@@ -79,6 +84,7 @@ class MatrixRunner:
         workers: int = 0,
         store: ResultStore | None = None,
         cache_dir: str | Path | None = None,
+        trace_store: TraceStore | str | Path | None = None,
         timeout: float | None = None,
         retries: int = 1,
         progress: Callable[[str], None] | None = None,
@@ -86,8 +92,17 @@ class MatrixRunner:
         self.config = config or ExperimentConfig()
         if store is None and cache_dir is not None:
             store = ResultStore(cache_dir)
+        if trace_store is None and cache_dir is not None:
+            # Traces share the result cache's directory so one
+            # ``--cache-dir`` flag persists both; the ``traces/``
+            # subtree never collides with result shards (keys shard
+            # into two-hex-character directories).
+            trace_store = Path(cache_dir) / "traces"
+        if trace_store is not None and not isinstance(trace_store, TraceStore):
+            trace_store = TraceStore(trace_store)
         self.workers = workers
         self.store = store
+        self.trace_store = trace_store
         self.timeout = timeout
         self.retries = retries
         self.progress = progress
@@ -153,9 +168,24 @@ class MatrixRunner:
     def trace(self, workload: str) -> Trace:
         cached = self._traces.get(workload)
         if cached is None:
-            cached = get_workload(workload).make_trace(
-                self.config.references, seed=self.config.seed
-            )
+            if self.trace_store is not None:
+                # Shared streaming pipeline: generate at most once per
+                # store (across runners, workers, and past runs), then
+                # serve a read-only memory map.  The map cannot be
+                # mutated in place, so no digest guard is needed.
+                key = self.trace_store.key(
+                    workload, self.config.references, self.config.seed
+                )
+                cached = self.trace_store.get_or_create(
+                    key,
+                    lambda: get_workload(workload).trace_source(
+                        self.config.references, seed=self.config.seed
+                    ),
+                )
+            else:
+                cached = get_workload(workload).make_trace(
+                    self.config.references, seed=self.config.seed
+                )
             self._traces[workload] = cached
             self._trace_digests[workload] = trace_digest(cached)
         elif trace_digest(cached) != self._trace_digests[workload]:
@@ -182,6 +212,7 @@ class MatrixRunner:
         return Orchestrator(
             workers=self.workers,
             store=self.store,
+            trace_store=self.trace_store,
             timeout=self.timeout,
             retries=self.retries,
             job_fn=self._execute_spec if self.workers == 0 else execute_job,

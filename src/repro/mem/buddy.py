@@ -61,6 +61,11 @@ class BuddyAllocator:
         self._free: list[set[int]] = [set() for _ in range(max_order + 1)]
         # Allocated blocks: start frame -> order.
         self._allocated: dict[int, int] = {}
+        # Running frame count of ``_allocated`` (kept in lock step at
+        # every mutation site) so ``allocated_frames``/``free_frames``
+        # are O(1) instead of re-summing the whole block table — the
+        # scenario builders poll them in tight churn loops.
+        self._allocated_frames = 0
         for start in range(0, total_frames, 1 << max_order):
             self._free[max_order].add(start)
 
@@ -84,6 +89,7 @@ class BuddyAllocator:
             source -= 1
             self._free[source].add(start + (1 << source))
         self._allocated[start] = order
+        self._allocated_frames += 1 << order
         return FrameRange(start, 1 << order)
 
     def free(self, block: FrameRange) -> None:
@@ -92,6 +98,7 @@ class BuddyAllocator:
         if order is None or (1 << order) != block.count:
             raise ReproError(f"free of unallocated or mismatched block {block}")
         del self._allocated[block.start]
+        self._allocated_frames -= 1 << order
         self._insert_free(block.start, order)
 
     # ------------------------------------------------------------------
@@ -156,6 +163,7 @@ class BuddyAllocator:
         blocks = self._blocks_within(run)
         for start, order in blocks:
             del self._allocated[start]
+            self._allocated_frames -= 1 << order
             self._insert_free(start, order)
 
     def reserve_free_in_range(self, start: int, end: int) -> list[FrameRange]:
@@ -184,6 +192,7 @@ class BuddyAllocator:
                     inside_lo, inside_hi, self.max_order
                 ):
                     self._allocated[sub_start] = sub_order
+                    self._allocated_frames += 1 << sub_order
                     claimed.append(FrameRange(sub_start, 1 << sub_order))
                 for lo, hi in ((block, inside_lo), (inside_hi, block + size)):
                     for sub_start, sub_order in aligned_decompose(
@@ -254,11 +263,15 @@ class BuddyAllocator:
 
     @property
     def free_frames(self) -> int:
-        return sum(len(blocks) << order for order, blocks in enumerate(self._free))
+        # Frame conservation (every frame is exactly one of free or
+        # allocated, checked by ``check_invariants``) makes this the
+        # complement of the running allocated counter — O(1), where
+        # re-summing the free lists would be O(blocks).
+        return self.total_frames - self._allocated_frames
 
     @property
     def allocated_frames(self) -> int:
-        return sum(1 << order for order in self._allocated.values())
+        return self._allocated_frames
 
     def free_blocks_by_order(self) -> dict[int, int]:
         """Number of free blocks at each order (fragmentation signature)."""
@@ -294,6 +307,12 @@ class BuddyAllocator:
         if len(seen) != self.total_frames:
             raise ReproError(
                 f"frame conservation violated: {len(seen)} != {self.total_frames}"
+            )
+        actual = sum(1 << order for order in self._allocated.values())
+        if self._allocated_frames != actual:
+            raise ReproError(
+                f"allocated-frame counter drifted: counter says "
+                f"{self._allocated_frames}, block table sums to {actual}"
             )
 
     # ------------------------------------------------------------------
@@ -360,9 +379,11 @@ class BuddyAllocator:
         tail goes back to the free lists with coalescing.
         """
         del self._allocated[block.start]
+        self._allocated_frames -= block.count
         kept: list[FrameRange] = []
         for start, order in aligned_decompose(block.start, block.start + keep, self.max_order):
             self._allocated[start] = order
+            self._allocated_frames += 1 << order
             kept.append(FrameRange(start, 1 << order))
         for start, order in aligned_decompose(block.start + keep, block.end, self.max_order):
             self._insert_free(start, order)

@@ -22,7 +22,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.sim.stats import TranslationStats, canonical_json
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceSource
 
 #: Default epoch length in memory references.  The paper re-evaluates
 #: every 10^9 instructions out of 12x10^9; we keep the same 1/12 of the
@@ -104,12 +104,19 @@ class SimulationResult:
 
 def simulate(
     scheme,
-    trace: Trace,
+    trace: Trace | TraceSource,
     epoch_references: int | None = DEFAULT_EPOCH_REFERENCES,
     on_epoch: Callable[[int, object], None] | None = None,
     engine: str = "batched",
 ) -> SimulationResult:
     """Run ``trace`` through ``scheme``, epoch by epoch.
+
+    ``trace`` may be an eager :class:`Trace` or any
+    :class:`~repro.sim.trace.TraceSource`: the engine pulls one epoch's
+    block at a time through ``iter_chunks``, so a streaming source is
+    simulated with peak memory O(epoch), not O(trace), and — chunking
+    being invisible by the source contract — with results bit-identical
+    to the materialized trace.
 
     ``engine`` selects how each epoch's block is resolved:
     ``"batched"`` (default) calls ``scheme.access_block`` — the
@@ -117,10 +124,9 @@ def simulate(
     forces the per-reference ``access`` loop.  Both produce
     bit-identical :class:`TranslationStats`.
     """
-    vpns = trace.vpns
-    total = len(vpns)
+    total = trace.references
     if epoch_references is None or epoch_references >= total:
-        epoch_references = total
+        epoch_references = max(total, 1)
     if epoch_references <= 0:
         raise ValueError("epoch_references must be positive")
 
@@ -138,14 +144,13 @@ def simulate(
     changes = 0
     position = 0
     epoch_stats: list[dict] = []
-    while position < total:
-        end = min(position + epoch_references, total)
+    for block in trace.iter_chunks(epoch_references):
         # Adopt any mapping mutations (on_epoch hooks, compaction)
         # before the block runs — same point under both engines, so
         # scalar and batched stay bit-identical.
         scheme.sync_mapping()
-        step(vpns[position:end])
-        position = end
+        step(block)
+        position += len(block)
         epochs += 1
         epoch_stats.append(scheme.stats.snapshot())
         if position < total:

@@ -8,6 +8,24 @@ TLB behaviour is the page-level reuse distance distribution, which these
 reproduce — uniform random (no reuse), Zipf (skewed reuse), sequential
 sweeps (compulsory-only), Gaussian walks (a moving working set), and
 pointer chases (random permutation cycles).
+
+Every primitive exists in two forms sharing one implementation:
+
+* a **resumable state** (:class:`UniformState`, :class:`ZipfState`, ...)
+  whose :meth:`PatternState.take` emits the next ``n`` indices.  States
+  are *chunk-invariant*: concatenating ``take`` calls of any sizes is
+  bit-identical to a single ``take`` of the total, which is what lets
+  the streaming trace pipeline emit chunk N without regenerating chunks
+  ``0..N-1`` (enforced by ``tests/sim/test_streaming_differential.py``);
+* the classic **one-shot function** (:func:`uniform`, :func:`zipf`, ...)
+  which builds a state and takes everything at once.
+
+Chunk invariance relies on two properties.  First, all *setup* draws
+(stream cursors, permutations, walk origins) happen at state
+construction, before any streaming draw.  Second, numpy ``Generator``
+sampling is element-sequential, so splitting ``rng.random`` /
+``rng.integers`` / ``rng.standard_normal`` across calls concatenates to
+the single-call stream.
 """
 
 from __future__ import annotations
@@ -15,9 +33,313 @@ from __future__ import annotations
 import numpy as np
 
 
+class PatternState:
+    """A resumable index stream over ``[0, footprint)``.
+
+    Subclasses draw any setup randomness in ``__init__`` and emit
+    indices from :meth:`take`; ``position`` tracks how many indices have
+    been emitted so far.
+    """
+
+    def __init__(self, footprint: int) -> None:
+        if footprint <= 0:
+            raise ValueError("footprint must be positive")
+        self.footprint = footprint
+        self.position = 0
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` indices (int64, each in ``[0, footprint)``)."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        out = self._emit(n)
+        self.position += n
+        return out
+
+    def _emit(self, n: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class UniformState(PatternState):
+    """Uniform random pages — gups-style, defeats any TLB."""
+
+    def __init__(self, rng: np.random.Generator, footprint: int) -> None:
+        super().__init__(footprint)
+        self._rng = rng
+
+    def _emit(self, n: int) -> np.ndarray:
+        return self._rng.integers(0, self.footprint, size=n, dtype=np.int64)
+
+
+class ZipfState(PatternState):
+    """Zipf-distributed page popularity over a random permutation.
+
+    Hot pages are scattered across the footprint (as heap objects are),
+    not clustered at low addresses.  The permutation is drawn at
+    construction; per-chunk draws are inverse-CDF samples
+    (``searchsorted`` on the precomputed rank CDF — the same sampling
+    rule ``Generator.choice(p=...)`` applies, minus its per-call
+    normalisation and validation passes over the footprint).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        footprint: int,
+        exponent: float = 0.8,
+    ) -> None:
+        super().__init__(footprint)
+        if exponent <= 0:
+            raise ValueError("exponent must be positive")
+        self._rng = rng
+        ranks = np.arange(1, footprint + 1, dtype=np.float64)
+        weights = ranks ** -exponent
+        weights /= weights.sum()
+        cdf = weights.cumsum()
+        cdf /= cdf[-1]
+        self._cdf = cdf
+        self._permutation = rng.permutation(footprint).astype(np.int64)
+
+    def _emit(self, n: int) -> np.ndarray:
+        draws = self._cdf.searchsorted(self._rng.random(n), side="right")
+        return self._permutation[draws]
+
+
+class SequentialState(PatternState):
+    """Interleaved sequential sweeps — stencil/streaming kernels.
+
+    ``streams`` concurrent cursors start at random offsets and advance
+    by ``stride`` pages after ``repeats_per_page`` touches, wrapping at
+    the footprint.  After the cursors are drawn the stream is a pure
+    function of the global position, so chunks are computed with
+    closed-form cursor arithmetic instead of a per-reference loop.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        footprint: int,
+        streams: int = 1,
+        stride: int = 1,
+        repeats_per_page: int = 4,
+    ) -> None:
+        super().__init__(footprint)
+        if streams <= 0 or stride <= 0 or repeats_per_page <= 0:
+            raise ValueError("streams, stride, repeats_per_page must be positive")
+        self._cursors = rng.integers(0, footprint, size=streams, dtype=np.int64)
+        self._streams = streams
+        self._stride = stride
+        self._repeats = repeats_per_page
+
+    def _emit(self, n: int) -> np.ndarray:
+        # Global position i sits in pick-slot i // repeats; slots rotate
+        # round-robin over streams, and a stream's cursor has advanced
+        # once per completed rotation.
+        pos = self.position + np.arange(n, dtype=np.int64)
+        slot = pos // self._repeats
+        stream = slot % self._streams
+        rounds = slot // self._streams
+        return (self._cursors[stream] + self._stride * rounds) % self.footprint
+
+
+class GaussianWalkState(PatternState):
+    """Accesses clustered around a slowly drifting centre.
+
+    Models frontier-style computations (astar, omnetpp event sets):
+    strong temporal locality with a working set that migrates.  The walk
+    origin is drawn at construction; each chunk draws one interleaved
+    block of standard normals (even elements drive the drift, odd the
+    offsets), so any chunking consumes the generator identically, and
+    the drift accumulator carries across chunks with the exact
+    sequential-summation rounding of a single ``cumsum``.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        footprint: int,
+        sigma_pages: float = 64.0,
+        drift: float = 2.0,
+    ) -> None:
+        super().__init__(footprint)
+        if sigma_pages <= 0:
+            raise ValueError("sigma must be positive")
+        self._rng = rng
+        self._sigma = sigma_pages
+        self._drift = drift
+        self._centre = float(rng.integers(0, footprint))
+
+    def _emit(self, n: int) -> np.ndarray:
+        raw = self._rng.standard_normal(2 * n)
+        steps = self._drift * raw[0::2]
+        offsets = self._sigma * raw[1::2]
+        # Seeding the accumulation with the carried centre reproduces
+        # the rounding of one uninterrupted cumsum over all chunks.
+        walk = np.cumsum(np.concatenate(([self._centre], steps)))[1:]
+        self._centre = float(walk[-1])
+        centre = walk % self.footprint
+        return ((centre + offsets) % self.footprint).astype(np.int64)
+
+
+class PointerChaseState(PatternState):
+    """Walk a fixed random permutation cycle — linked data structures.
+
+    Every page is visited before any repeats (reuse distance equals the
+    footprint), with periodic restarts from random positions.  The cycle
+    is a single Hamiltonian circuit over a random page order, so a
+    restart-free segment is a contiguous (wrapping) slice of that order
+    and chunks are emitted as slices instead of a per-reference loop.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        footprint: int,
+        restart_every: int = 4096,
+    ) -> None:
+        super().__init__(footprint)
+        if restart_every <= 0:
+            raise ValueError("restart_every must be positive")
+        self._rng = rng
+        self._restart = restart_every
+        self._order = rng.permutation(footprint).astype(np.int64)
+        self._index_of = np.empty(footprint, dtype=np.int64)
+        self._index_of[self._order] = np.arange(footprint, dtype=np.int64)
+        self._node = int(rng.integers(0, footprint))
+
+    def _emit(self, n: int) -> np.ndarray:
+        out = np.empty(n, dtype=np.int64)
+        filled = 0
+        position = self.position
+        while filled < n:
+            to_restart = self._restart - position % self._restart
+            seg = min(n - filled, to_restart)
+            start = self._index_of[self._node]
+            idx = (start + np.arange(seg, dtype=np.int64)) % self.footprint
+            out[filled : filled + seg] = self._order[idx]
+            filled += seg
+            position += seg
+            if position % self._restart == 0:
+                self._node = int(self._rng.integers(0, self.footprint))
+            else:
+                self._node = int(self._order[(start + seg) % self.footprint])
+        return out
+
+
+class StridedState(PatternState):
+    """A single strided sweep (large-row matrix traversals)."""
+
+    def __init__(
+        self, rng: np.random.Generator, footprint: int, stride: int = 16
+    ) -> None:
+        super().__init__(footprint)
+        self._start = int(rng.integers(0, footprint))
+        self._stride = stride
+
+    def _emit(self, n: int) -> np.ndarray:
+        pos = self.position + np.arange(n, dtype=np.int64)
+        return (self._start + pos * self._stride) % self.footprint
+
+
+class MixtureState(PatternState):
+    """Interleave component streams with the given weights.
+
+    Each component is ``(weight, make_state, stream_length)`` where
+    ``make_state()`` builds a fresh :class:`PatternState` for that
+    component; accesses are drawn from components in weight-proportional
+    interleaved blocks of 64, keeping each component's internal order
+    (so sequential components stay sequential).  An exhausted component
+    is recycled by rebuilding its state, which — states being
+    deterministic in their construction seed — replays the identical
+    stream without keeping it in memory.  A block split by a chunk
+    boundary resumes in the next chunk, so chunking never perturbs the
+    block structure.
+    """
+
+    BLOCK = 64
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        footprint: int,
+        length: int,
+        components: list[tuple[float, object, int]],
+    ) -> None:
+        super().__init__(footprint)
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if not components:
+            raise ValueError("mixture needs at least one component")
+        weights = np.array([w for w, _, _ in components], dtype=np.float64)
+        if (weights <= 0).any():
+            raise ValueError("weights must be positive")
+        for _, _, stream_length in components:
+            if stream_length <= 0:
+                raise ValueError("component stream lengths must be positive")
+        weights /= weights.sum()
+        cdf = weights.cumsum()
+        cdf /= cdf[-1]
+        self._rng = rng
+        self._cdf = cdf
+        self._length = length
+        self._factories = [make_state for _, make_state, _ in components]
+        self._lengths = [stream_length for _, _, stream_length in components]
+        self._states: list[PatternState | None] = [None] * len(components)
+        self._consumed = [0] * len(components)
+        #: (component, references still owed) of a block a previous
+        #: chunk boundary cut short.
+        self._pending: tuple[int, int] | None = None
+
+    def _component_take(self, choice: int, count: int) -> np.ndarray:
+        state = self._states[choice]
+        if state is None:
+            state = self._factories[choice]()
+            self._states[choice] = state
+        taken = state.take(count)
+        self._consumed[choice] += count
+        return taken
+
+    def _emit(self, n: int) -> np.ndarray:
+        out = np.empty(n, dtype=np.int64)
+        filled = 0
+        position = self.position
+        while filled < n:
+            if self._pending is not None:
+                choice, owed = self._pending
+                self._pending = None
+            else:
+                choice = int(self._cdf.searchsorted(self._rng.random(), "right"))
+                remaining = self._lengths[choice] - self._consumed[choice]
+                owed = min(
+                    self.BLOCK, self._length - position, remaining
+                )
+                if owed <= 0:
+                    # Component exhausted; recycle it from the start.
+                    # The fresh block must still fit inside the stream —
+                    # short streams (tiny traces) hold fewer than
+                    # ``BLOCK`` entries.
+                    self._states[choice] = None
+                    self._consumed[choice] = 0
+                    owed = min(
+                        self.BLOCK, self._length - position,
+                        self._lengths[choice],
+                    )
+            emit = min(owed, n - filled)
+            out[filled : filled + emit] = self._component_take(choice, emit)
+            filled += emit
+            position += emit
+            if emit < owed:
+                self._pending = (choice, owed - emit)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# One-shot functions (states taken in a single chunk)
+# ---------------------------------------------------------------------------
+
+
 def uniform(rng: np.random.Generator, footprint: int, length: int) -> np.ndarray:
     """Uniform random pages — gups-style, defeats any TLB."""
-    return rng.integers(0, footprint, size=length, dtype=np.int64)
+    return UniformState(rng, footprint).take(length)
 
 
 def zipf(
@@ -26,19 +348,8 @@ def zipf(
     length: int,
     exponent: float = 0.8,
 ) -> np.ndarray:
-    """Zipf-distributed page popularity over a random permutation.
-
-    Hot pages are scattered across the footprint (as heap objects are),
-    not clustered at low addresses.
-    """
-    if exponent <= 0:
-        raise ValueError("exponent must be positive")
-    ranks = np.arange(1, footprint + 1, dtype=np.float64)
-    weights = ranks ** -exponent
-    weights /= weights.sum()
-    draws = rng.choice(footprint, size=length, p=weights)
-    permutation = rng.permutation(footprint)
-    return permutation[draws].astype(np.int64)
+    """Zipf-distributed page popularity over a random permutation."""
+    return ZipfState(rng, footprint, exponent).take(length)
 
 
 def sequential(
@@ -49,27 +360,10 @@ def sequential(
     stride: int = 1,
     repeats_per_page: int = 4,
 ) -> np.ndarray:
-    """Interleaved sequential sweeps — stencil/streaming kernels.
-
-    ``streams`` concurrent cursors start at random offsets and advance
-    by ``stride`` pages after ``repeats_per_page`` touches, wrapping at
-    the footprint.
-    """
-    if streams <= 0 or stride <= 0 or repeats_per_page <= 0:
-        raise ValueError("streams, stride, repeats_per_page must be positive")
-    cursors = rng.integers(0, footprint, size=streams, dtype=np.int64)
-    out = np.empty(length, dtype=np.int64)
-    per_pick = repeats_per_page
-    position = 0
-    while position < length:
-        for s in range(streams):
-            take = min(per_pick, length - position)
-            if take <= 0:
-                break
-            out[position : position + take] = cursors[s]
-            position += take
-            cursors[s] = (cursors[s] + stride) % footprint
-    return out
+    """Interleaved sequential sweeps — stencil/streaming kernels."""
+    return SequentialState(rng, footprint, streams, stride, repeats_per_page).take(
+        length
+    )
 
 
 def gaussian_walk(
@@ -79,17 +373,8 @@ def gaussian_walk(
     sigma_pages: float = 64.0,
     drift: float = 2.0,
 ) -> np.ndarray:
-    """Accesses clustered around a slowly drifting centre.
-
-    Models frontier-style computations (astar, omnetpp event sets):
-    strong temporal locality with a working set that migrates.
-    """
-    if sigma_pages <= 0:
-        raise ValueError("sigma must be positive")
-    steps = rng.normal(0.0, drift, size=length).cumsum()
-    centre = (rng.integers(0, footprint) + steps) % footprint
-    offsets = rng.normal(0.0, sigma_pages, size=length)
-    return ((centre + offsets) % footprint).astype(np.int64)
+    """Accesses clustered around a slowly drifting centre."""
+    return GaussianWalkState(rng, footprint, sigma_pages, drift).take(length)
 
 
 def pointer_chase(
@@ -98,28 +383,8 @@ def pointer_chase(
     length: int,
     restart_every: int = 4096,
 ) -> np.ndarray:
-    """Walk a fixed random permutation cycle — linked data structures.
-
-    Every page is visited before any repeats (reuse distance equals the
-    footprint), with periodic restarts from random positions.
-    """
-    if restart_every <= 0:
-        raise ValueError("restart_every must be positive")
-    # Build a single Hamiltonian cycle (Sattolo-style) so every page is
-    # visited exactly once per lap — a random successor *function* would
-    # decay into short cycles.
-    order = rng.permutation(footprint).astype(np.int64)
-    successor = np.empty(footprint, dtype=np.int64)
-    successor[order[:-1]] = order[1:]
-    successor[order[-1]] = order[0]
-    out = np.empty(length, dtype=np.int64)
-    node = int(rng.integers(0, footprint))
-    for i in range(length):
-        out[i] = node
-        node = int(successor[node])
-        if (i + 1) % restart_every == 0:
-            node = int(rng.integers(0, footprint))
-    return out
+    """Walk a fixed random permutation cycle — linked data structures."""
+    return PointerChaseState(rng, footprint, restart_every).take(length)
 
 
 def strided(
@@ -129,9 +394,7 @@ def strided(
     stride: int = 16,
 ) -> np.ndarray:
     """A single strided sweep (large-row matrix traversals)."""
-    start = int(rng.integers(0, footprint))
-    idx = (start + np.arange(length, dtype=np.int64) * stride) % footprint
-    return idx
+    return StridedState(rng, footprint, stride).take(length)
 
 
 def mixture(
@@ -139,36 +402,46 @@ def mixture(
     length: int,
     components: list[tuple[float, np.ndarray]],
 ) -> np.ndarray:
-    """Interleave component streams with the given weights.
+    """Interleave pre-materialized component streams (eager form).
 
     Each component is ``(weight, indices)``; accesses are drawn from
     components in weight-proportional interleaved blocks of 64, keeping
     each component's internal order (so sequential components stay
-    sequential).
+    sequential).  The workload layer composes :class:`MixtureState`
+    directly so component streams never have to be materialized; this
+    eager wrapper serves callers that already hold arrays.
     """
-    if not components:
-        raise ValueError("mixture needs at least one component")
-    weights = np.array([w for w, _ in components], dtype=np.float64)
-    if (weights <= 0).any():
-        raise ValueError("weights must be positive")
-    weights /= weights.sum()
-    block = 64
-    out = np.empty(length, dtype=np.int64)
-    cursors = [0] * len(components)
-    position = 0
-    while position < length:
-        choice = int(rng.choice(len(components), p=weights))
-        _, stream = components[choice]
-        take = min(block, length - position, len(stream) - cursors[choice])
-        if take <= 0:
-            # Component exhausted; recycle it from the start.  The
-            # fresh block must still fit inside the stream — short
-            # streams (tiny traces) hold fewer than ``block`` entries.
-            cursors[choice] = 0
-            take = min(block, length - position, len(stream))
-        out[position : position + take] = stream[
-            cursors[choice] : cursors[choice] + take
-        ]
-        cursors[choice] += take
-        position += take
-    return out
+    for _, stream in components:
+        if hasattr(stream, "__len__") and len(stream) == 0:
+            raise ValueError("component streams must be non-empty")
+    footprint = max(
+        (int(np.max(stream)) + 1 for _, stream in components if len(stream)),
+        default=1,
+    )
+    state = MixtureState(
+        rng,
+        max(footprint, 1),
+        length,
+        [
+            (weight, _ReplayState.factory(stream), len(stream))
+            for weight, stream in components
+        ],
+    )
+    return state.take(length)
+
+
+class _ReplayState(PatternState):
+    """Replays a pre-materialized array (eager ``mixture`` components)."""
+
+    def __init__(self, stream: np.ndarray) -> None:
+        super().__init__(max(int(np.max(stream)) + 1, 1) if len(stream) else 1)
+        self._stream = np.asarray(stream, dtype=np.int64)
+
+    @classmethod
+    def factory(cls, stream: np.ndarray):
+        return lambda: cls(stream)
+
+    def _emit(self, n: int) -> np.ndarray:
+        if self.position + n > len(self._stream):
+            raise ValueError("replay stream over-consumed")
+        return self._stream[self.position : self.position + n]

@@ -51,8 +51,10 @@ from repro.errors import CellFailedError, OrchestrationError
 from repro.params import DEFAULT_MACHINE, MachineConfig
 from repro.sim.engine import DEFAULT_EPOCH_REFERENCES, SimulationResult, simulate
 from repro.sim.stats import canonical_json
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, TraceSource
+from repro.sim.trace_store import TraceStore
 from repro.sim.workloads import get_workload
+from repro.util.proc import peak_rss_bytes
 from repro.vmos.contiguity import contiguity_histogram
 from repro.vmos.distance import select_distance
 from repro.vmos.mapping import MemoryMapping
@@ -62,6 +64,8 @@ __all__ = [
     "STATIC_IDEAL",
     "JobSpec",
     "ResultStore",
+    "TraceStore",
+    "configure_trace_store",
     "JobFailure",
     "RunSummary",
     "Orchestrator",
@@ -85,7 +89,10 @@ STATIC_IDEAL = "anchor-ideal"
 DISTANCE_SELECT = "-"
 
 #: Bump to invalidate every existing cache entry on a format change.
-CACHE_FORMAT = 1
+#: 2: trace generation moved to the chunk-invariant streaming pipeline
+#: (per-component child RNG streams), which changed trace bytes for
+#: mixture/zipf/gaussian workloads.
+CACHE_FORMAT = 2
 
 ProgressFn = Callable[[str], None]
 
@@ -259,6 +266,24 @@ class ResultStore:
 _WORKER_MAPPINGS: dict[tuple, tuple[MemoryMapping, str]] = {}
 _WORKER_TRACES: dict[tuple, tuple[Trace, str]] = {}
 
+#: The shared trace store this process reads traces from, when the
+#: orchestrator configured one (see :func:`configure_trace_store`).
+_WORKER_TRACE_STORE: TraceStore | None = None
+
+
+def configure_trace_store(root: str | Path | None) -> TraceStore | None:
+    """Point this process's job execution at a shared trace store.
+
+    With a store configured, :func:`execute_job` memory-maps traces the
+    orchestrator generated instead of rebuilding them.  Called in the
+    parent by the orchestrator and in each pool worker via the executor
+    initializer (fork inherits the parent's setting, but spawned workers
+    would not).  ``None`` reverts to per-process generation.
+    """
+    global _WORKER_TRACE_STORE
+    _WORKER_TRACE_STORE = None if root is None else TraceStore(root)
+    return _WORKER_TRACE_STORE
+
 
 def _mapping_for(spec: JobSpec) -> MemoryMapping:
     key = (spec.workload, spec.scenario, spec.seed)
@@ -277,6 +302,20 @@ def _mapping_for(spec: JobSpec) -> MemoryMapping:
 
 
 def _trace_for(spec: JobSpec) -> Trace:
+    store = _WORKER_TRACE_STORE
+    if store is not None:
+        # The orchestrator pre-generated every distinct trace; this is a
+        # cheap mmap open.  The read-only map cannot be mutated, so the
+        # digest guard below is unnecessary on this path; the miss
+        # branch inside get_or_create regenerates (and logs it) if the
+        # store was cleared between dispatch and execution.
+        trace_key = TraceStore.key(spec.workload, spec.references, spec.seed)
+        return store.get_or_create(
+            trace_key,
+            lambda: get_workload(spec.workload).trace_source(
+                spec.references, seed=spec.seed
+            ),
+        )
     key = (spec.workload, spec.seed, spec.references)
     entry = _WORKER_TRACES.get(key)
     if entry is None:
@@ -355,6 +394,13 @@ class RunSummary:
     retried: int = 0
     failed: int = 0
     wall_seconds: float = 0.0
+    #: Distinct traces this run actually generated (trace-store misses);
+    #: 0 when every trace was already persisted or no store was used.
+    traces_generated: int = 0
+    trace_generation_seconds: float = 0.0
+    #: The orchestrating process's high-water RSS at the end of the run
+    #: (``ru_maxrss``); the bounded-memory gauge for streaming runs.
+    peak_rss_bytes: int = 0
     failures: list[JobFailure] = field(default_factory=list)
 
     def render(self) -> str:
@@ -363,6 +409,13 @@ class RunSummary:
             f"{self.cached} cached, {self.retried} retried, "
             f"{self.failed} failed ({self.wall_seconds:.1f}s)"
         )
+        if self.traces_generated:
+            line += (
+                f"\n  traces: {self.traces_generated} generated in "
+                f"{self.trace_generation_seconds:.2f}s"
+            )
+        if self.peak_rss_bytes:
+            line += f"\n  peak rss: {self.peak_rss_bytes / 2**20:.1f} MiB"
         for failure in self.failures:
             line += f"\n  failed: {failure.label} after {failure.attempts} " \
                     f"attempts: {failure.error}"
@@ -376,6 +429,9 @@ class RunSummary:
             "retried": self.retried,
             "failed": self.failed,
             "wall_seconds": self.wall_seconds,
+            "traces_generated": self.traces_generated,
+            "trace_generation_seconds": self.trace_generation_seconds,
+            "peak_rss_bytes": self.peak_rss_bytes,
             "failures": [f.to_dict() for f in self.failures],
         }
 
@@ -399,6 +455,11 @@ def combine_summaries(summaries: Iterable[RunSummary]) -> RunSummary:
         combined.retried += summary.retried
         combined.failed += summary.failed
         combined.wall_seconds += summary.wall_seconds
+        combined.traces_generated += summary.traces_generated
+        combined.trace_generation_seconds += summary.trace_generation_seconds
+        combined.peak_rss_bytes = max(
+            combined.peak_rss_bytes, summary.peak_rss_bytes
+        )
         combined.failures.extend(summary.failures)
     return combined
 
@@ -419,12 +480,19 @@ class Orchestrator:
       attempt, the pool is rebuilt, and innocent in-flight jobs are
       resubmitted without losing an attempt.  Jobs that exhaust their
       attempts land in the failure ledger instead of raising.
+    * ``trace_store`` (a :class:`TraceStore`, or a directory to open
+      one in) enables the shared streaming trace pipeline: the parent
+      generates each distinct (workload, references, seed) trace
+      exactly once into the store before dispatch, and every worker —
+      serial or pooled — memory-maps the persisted file instead of
+      rebuilding the trace.
     """
 
     def __init__(
         self,
         workers: int = 0,
         store: ResultStore | None = None,
+        trace_store: TraceStore | str | Path | None = None,
         timeout: float | None = None,
         retries: int = 1,
         job_fn: Callable[[JobSpec], dict] = execute_job,
@@ -439,6 +507,9 @@ class Orchestrator:
             raise OrchestrationError("timeout must be positive")
         self.workers = workers
         self.store = store
+        if trace_store is not None and not isinstance(trace_store, TraceStore):
+            trace_store = TraceStore(trace_store)
+        self.trace_store = trace_store
         self.timeout = timeout
         self.retries = retries
         self.job_fn = job_fn
@@ -459,6 +530,7 @@ class Orchestrator:
         self, specs: Sequence[JobSpec]
     ) -> tuple[dict[str, dict], RunSummary]:
         """Execute ``specs``; return payloads by key plus the summary."""
+        global _WORKER_TRACE_STORE
         started = time.perf_counter()
         ordered: list[JobSpec] = []
         seen: set[str] = set()
@@ -480,13 +552,66 @@ class Orchestrator:
             else:
                 pending.append(spec)
 
-        if pending:
-            if self.workers == 0:
-                self._run_serial(pending, results, summary)
-            else:
-                self._run_pool(pending, results, summary)
+        # Point this process at the shared trace store only for the
+        # duration of the run, so two orchestrators with different
+        # stores (common in tests) never alias through the global.
+        previous_store = _WORKER_TRACE_STORE
+        try:
+            if pending and self.trace_store is not None:
+                self._prepare_traces(pending, summary)
+            if pending:
+                if self.workers == 0:
+                    self._run_serial(pending, results, summary)
+                else:
+                    self._run_pool(pending, results, summary)
+        finally:
+            _WORKER_TRACE_STORE = previous_store
         summary.wall_seconds = time.perf_counter() - started
+        summary.peak_rss_bytes = peak_rss_bytes()
         return results, summary
+
+    def _prepare_traces(
+        self, pending: Sequence[JobSpec], summary: RunSummary
+    ) -> None:
+        """Generate each distinct pending trace into the shared store.
+
+        Runs in the parent before any job is dispatched, so the
+        exactly-once guarantee holds even with many pool workers: by
+        the time a worker opens a trace it is already persisted, and
+        the worker's ``get_or_create`` is a pure mmap hit.  Streaming
+        generation (``put_streaming``) keeps parent memory at
+        O(chunk), and the per-trace generation log gives tests and
+        post-hoc audits the generation count.
+        """
+        store = self.trace_store
+        assert store is not None
+        configure_trace_store(store.root)
+        generated_before = store.generated
+        seconds_before = store.generation_seconds
+        done: set[str] = set()
+        for spec in pending:
+            if spec.kind != "simulate":
+                continue
+            trace_key = store.key(spec.workload, spec.references, spec.seed)
+            if trace_key in done:
+                continue
+            done.add(trace_key)
+            store.get_or_create(
+                trace_key,
+                lambda spec=spec: get_workload(spec.workload).trace_source(
+                    spec.references, seed=spec.seed
+                ),
+            )
+        summary.traces_generated += store.generated - generated_before
+        summary.trace_generation_seconds += (
+            store.generation_seconds - seconds_before
+        )
+        if summary.traces_generated:
+            self._emit(
+                summary,
+                f"traces: {summary.traces_generated} generated in "
+                f"{summary.trace_generation_seconds:.2f}s",
+            )
 
     # ------------------------------------------------------------------
 
@@ -563,8 +688,17 @@ class Orchestrator:
     # ------------------------------------------------------------------
 
     def _new_executor(self) -> ProcessPoolExecutor:
+        # The initializer repoints spawned workers at the shared trace
+        # store (fork-started workers inherit the parent's setting, but
+        # the explicit initializer keeps spawn/forkserver correct too).
+        initializer = None
+        initargs: tuple = ()
+        if self.trace_store is not None:
+            initializer = configure_trace_store
+            initargs = (str(self.trace_store.root),)
         return ProcessPoolExecutor(
-            max_workers=self.workers, mp_context=self._mp_context
+            max_workers=self.workers, mp_context=self._mp_context,
+            initializer=initializer, initargs=initargs,
         )
 
     @staticmethod

@@ -5,19 +5,83 @@ in the paper's Pin traces) plus the instruction count it represents.
 Traces are stored as numpy int64 arrays; the instruction count is
 derived from the workload's memory-operations-per-instruction ratio so
 the CPI model can normalise cycle counts.
+
+Two container shapes share one consumer API (:class:`TraceSource`):
+
+* :class:`Trace` — the eager special case: every VPN materialized in
+  one array.  ``iter_chunks`` yields zero-copy views.
+* streaming sources (:class:`repro.sim.workloads.WorkloadTraceSource`)
+  that *generate* fixed-size chunks lazily, so the engine's peak memory
+  is O(chunk), not O(trace).
+
+The engine only ever touches the shared API, which is what lets one
+simulation run against either container bit-identically.
 """
 
 from __future__ import annotations
 
+import abc
+import zipfile
+from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.errors import TraceFormatError
+
+#: Default chunk granularity for ``materialize`` and other whole-source
+#: scans; callers that drive epochs pass their own epoch length instead.
+DEFAULT_CHUNK_REFERENCES = 1 << 16
+
+
+class TraceSource(abc.ABC):
+    """An ordered stream of page-granular memory references.
+
+    The contract every implementation honours:
+
+    * ``name`` (str), ``references`` (int) and ``instructions`` (int)
+      are exposed as attributes or properties, known up front (a source
+      is a *sized* stream — the experiment matrix prices cells by it);
+    * ``iter_chunks(n)`` yields int64 arrays of exactly ``n`` VPNs (the
+      final chunk may be shorter), and restarting the iterator replays
+      the identical stream;
+    * chunking is invisible: concatenating the chunks equals the
+      materialized trace byte for byte, for every chunk size.
+
+    ``references``/``instructions`` are deliberately not abstract
+    properties: :class:`Trace` satisfies them with dataclass fields,
+    which an inherited data descriptor would shadow.
+    """
+
+    name: str
+    references: int
+    instructions: int
+
+    @abc.abstractmethod
+    def iter_chunks(
+        self, chunk_references: int = DEFAULT_CHUNK_REFERENCES
+    ) -> Iterator[np.ndarray]:
+        """Yield the VPN stream in arrays of ``chunk_references``."""
+
+    @property
+    def mem_ratio(self) -> float:
+        """Memory references per instruction."""
+        return self.references / self.instructions
+
+    def materialize(self) -> "Trace":
+        """Collect the whole stream into an eager :class:`Trace`."""
+        chunks = list(self.iter_chunks(DEFAULT_CHUNK_REFERENCES))
+        if len(chunks) == 1:
+            vpns = np.ascontiguousarray(chunks[0], dtype=np.int64)
+        else:
+            vpns = np.concatenate(chunks) if chunks else np.empty(0, np.int64)
+        return Trace(vpns=vpns, instructions=self.instructions, name=self.name)
+
 
 @dataclass(frozen=True)
-class Trace:
-    """An ordered sequence of page-granular memory references."""
+class Trace(TraceSource):
+    """An ordered sequence of page-granular memory references (eager)."""
 
     vpns: np.ndarray            #: int64 VPNs, one per memory reference
     instructions: int           #: instructions the references represent
@@ -39,10 +103,16 @@ class Trace:
     def references(self) -> int:
         return len(self)
 
-    @property
-    def mem_ratio(self) -> float:
-        """Memory references per instruction."""
-        return self.references / self.instructions
+    def iter_chunks(
+        self, chunk_references: int = DEFAULT_CHUNK_REFERENCES
+    ) -> Iterator[np.ndarray]:
+        if chunk_references <= 0:
+            raise ValueError("chunk_references must be positive")
+        for start in range(0, len(self), chunk_references):
+            yield self.vpns[start : start + chunk_references]
+
+    def materialize(self) -> "Trace":
+        return self
 
     def prefix(self, references: int) -> "Trace":
         """The first ``references`` accesses, instructions pro-rated."""
@@ -69,19 +139,56 @@ class Trace:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path) -> Path:
+        """Write the trace as compressed ``.npz``.
+
+        Like ``np.savez_compressed``, a missing ``.npz`` suffix is
+        appended; the actual path written is returned so callers can
+        hand it straight back to :meth:`load`.
+        """
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
         np.savez_compressed(
             path, vpns=self.vpns, instructions=self.instructions, name=self.name
         )
+        return path
 
     @classmethod
     def load(cls, path: str | Path) -> "Trace":
-        data = np.load(path, allow_pickle=False)
-        return cls(
-            vpns=data["vpns"],
-            instructions=int(data["instructions"]),
-            name=str(data["name"]),
-        )
+        """Load a trace written by :meth:`save`.
+
+        Accepts the path with or without its ``.npz`` suffix.  A file
+        that exists but does not parse as a saved trace — truncated
+        write, wrong archive members, garbage bytes — raises
+        :class:`~repro.errors.TraceFormatError` (the persistence
+        counterpart of the result cache's corrupt-bytes-is-a-miss rule:
+        corruption is always diagnosed, never propagated as whatever
+        exception numpy happens to throw).
+        """
+        path = Path(path)
+        if not path.is_file() and path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
+        try:
+            data = np.load(path, allow_pickle=False)
+        except OSError as exc:
+            if not path.is_file():
+                raise  # genuinely missing: keep the file-not-found error
+            raise TraceFormatError(f"{path} is not a saved trace: {exc}") from exc
+        except (ValueError, zipfile.BadZipFile) as exc:
+            raise TraceFormatError(f"{path} is not a saved trace: {exc}") from exc
+        try:
+            vpns = np.asarray(data["vpns"], dtype=np.int64)
+            instructions = int(data["instructions"])
+            name = str(data["name"])
+        except Exception as exc:  # noqa: BLE001 — any malformed member
+            raise TraceFormatError(
+                f"{path} is missing trace fields: {exc}"
+            ) from exc
+        try:
+            return cls(vpns=vpns, instructions=instructions, name=name)
+        except ValueError as exc:
+            raise TraceFormatError(f"{path} holds an invalid trace: {exc}") from exc
 
 
 def concatenate(traces: list[Trace], name: str = "") -> Trace:

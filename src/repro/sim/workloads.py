@@ -24,17 +24,42 @@ is preserved (see DESIGN.md §4).
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.sim import patterns
-from repro.sim.trace import Trace
+from repro.sim.trace import DEFAULT_CHUNK_REFERENCES, Trace, TraceSource
 from repro.util.rng import spawn_rng
 from repro.vmos.vma import VMA, AllocationSite, VMAKind, layout_vmas
 
-PatternFn = Callable[[np.random.Generator, int, int], np.ndarray]
+
+class Pattern:
+    """A pattern primitive (or composition) bound to its parameters.
+
+    ``state(rng, footprint, length)`` builds the resumable chunk
+    generator the streaming trace pipeline drives; calling the pattern
+    directly materializes the whole stream in one take (the two are
+    bit-identical by the chunk-invariance contract of
+    :class:`repro.sim.patterns.PatternState`).
+    """
+
+    def __init__(
+        self,
+        make_state: Callable[[np.random.Generator, int, int], patterns.PatternState],
+    ) -> None:
+        self._make_state = make_state
+
+    def state(
+        self, rng: np.random.Generator, footprint: int, length: int
+    ) -> patterns.PatternState:
+        return self._make_state(rng, footprint, length)
+
+    def __call__(
+        self, rng: np.random.Generator, footprint: int, length: int
+    ) -> np.ndarray:
+        return self.state(rng, footprint, length).take(length)
 
 
 @dataclass(frozen=True)
@@ -44,7 +69,7 @@ class Workload:
     name: str
     sites: tuple[AllocationSite, ...]
     mem_ops_per_instr: float
-    pattern: PatternFn
+    pattern: Pattern
     description: str = ""
 
     @property
@@ -55,22 +80,75 @@ class Workload:
         """The workload's virtual layout (deterministic)."""
         return layout_vmas(list(self.sites))
 
+    def trace_source(
+        self, references: int, seed: int | None = None
+    ) -> "WorkloadTraceSource":
+        """A lazy, chunk-generating source for this workload's trace."""
+        if references <= 0:
+            raise ValueError("references must be positive")
+        return WorkloadTraceSource(self, references, seed)
+
     def make_trace(
         self, references: int, seed: int | None = None
     ) -> Trace:
         """Generate a reference trace of ``references`` accesses."""
-        if references <= 0:
-            raise ValueError("references must be positive")
-        rng = spawn_rng(seed, "trace", self.name)
-        indices = self.pattern(rng, self.footprint_pages, references)
-        if indices.min() < 0 or indices.max() >= self.footprint_pages:
-            raise ValueError(f"{self.name}: pattern left the footprint")
-        vpn_of_index = np.concatenate(
-            [np.arange(v.start_vpn, v.end_vpn, dtype=np.int64) for v in self.vmas()]
+        return self.trace_source(references, seed).materialize()
+
+
+class WorkloadTraceSource(TraceSource):
+    """Generates a workload's trace lazily in fixed-size VPN chunks.
+
+    Each ``iter_chunks`` call builds a fresh pattern state from the
+    derived RNG, so iteration is restartable and always replays the
+    identical stream; peak memory is one chunk plus the O(footprint)
+    index-to-VPN table, never O(references).
+    """
+
+    def __init__(
+        self, workload: Workload, references: int, seed: int | None
+    ) -> None:
+        self.workload = workload
+        self.seed = seed
+        self.name = workload.name
+        self._references = references
+        self._instructions = max(
+            1, round(references / workload.mem_ops_per_instr)
         )
-        vpns = vpn_of_index[indices]
-        instructions = max(1, round(references / self.mem_ops_per_instr))
-        return Trace(vpns=vpns, instructions=instructions, name=self.name)
+        self._vpn_of_index: np.ndarray | None = None
+
+    @property
+    def references(self) -> int:
+        return self._references
+
+    @property
+    def instructions(self) -> int:
+        return self._instructions
+
+    def _vpn_table(self) -> np.ndarray:
+        if self._vpn_of_index is None:
+            self._vpn_of_index = np.concatenate([
+                np.arange(v.start_vpn, v.end_vpn, dtype=np.int64)
+                for v in self.workload.vmas()
+            ])
+        return self._vpn_of_index
+
+    def iter_chunks(
+        self, chunk_references: int = DEFAULT_CHUNK_REFERENCES
+    ) -> Iterator[np.ndarray]:
+        if chunk_references <= 0:
+            raise ValueError("chunk_references must be positive")
+        footprint = self.workload.footprint_pages
+        rng = spawn_rng(self.seed, "trace", self.workload.name)
+        state = self.workload.pattern.state(rng, footprint, self._references)
+        table = self._vpn_table()
+        remaining = self._references
+        while remaining > 0:
+            take = min(chunk_references, remaining)
+            indices = state.take(take)
+            if indices.min() < 0 or indices.max() >= footprint:
+                raise ValueError(f"{self.name}: pattern left the footprint")
+            yield table[indices]
+            remaining -= take
 
 
 # ---------------------------------------------------------------------------
@@ -78,54 +156,60 @@ class Workload:
 # ---------------------------------------------------------------------------
 
 
-def _mix(*components: tuple[float, PatternFn]) -> PatternFn:
-    def pattern(rng: np.random.Generator, footprint: int, length: int) -> np.ndarray:
-        streams = [
-            (weight, fn(rng, footprint, max(1, int(length * weight) + 1)))
-            for weight, fn in components
-        ]
-        return patterns.mixture(rng, length, streams)
+def _mix(*components: tuple[float, Pattern]) -> Pattern:
+    """Weight-interleave sub-patterns (see :class:`patterns.MixtureState`).
 
-    return pattern
+    Each component stream runs on its own child generator whose seed is
+    drawn from the parent at state construction, so components consume
+    independent streams however the mixture is chunked.
+    """
 
+    def make_state(rng, footprint, length):
+        streams = []
+        for weight, sub in components:
+            stream_length = max(1, int(length * weight) + 1)
+            child_seed = int(rng.integers(0, 2**63))
 
-def _uniform(rng, footprint, length):
-    return patterns.uniform(rng, footprint, length)
+            def factory(sub=sub, child_seed=child_seed,
+                        stream_length=stream_length):
+                return sub.state(
+                    np.random.default_rng(child_seed), footprint, stream_length
+                )
 
+            streams.append((weight, factory, stream_length))
+        return patterns.MixtureState(rng, footprint, length, streams)
 
-def _zipf(exponent: float) -> PatternFn:
-    def fn(rng, footprint, length):
-        return patterns.zipf(rng, footprint, length, exponent)
-
-    return fn
-
-
-def _sequential(streams: int = 1, stride: int = 1, repeats: int = 4) -> PatternFn:
-    def fn(rng, footprint, length):
-        return patterns.sequential(rng, footprint, length, streams, stride, repeats)
-
-    return fn
+    return Pattern(make_state)
 
 
-def _gaussian(sigma: float, drift: float = 2.0) -> PatternFn:
-    def fn(rng, footprint, length):
-        return patterns.gaussian_walk(rng, footprint, length, sigma, drift)
-
-    return fn
+_uniform = Pattern(lambda rng, footprint, length:
+                   patterns.UniformState(rng, footprint))
 
 
-def _chase(restart: int = 4096) -> PatternFn:
-    def fn(rng, footprint, length):
-        return patterns.pointer_chase(rng, footprint, length, restart)
-
-    return fn
+def _zipf(exponent: float) -> Pattern:
+    return Pattern(lambda rng, footprint, length:
+                   patterns.ZipfState(rng, footprint, exponent))
 
 
-def _strided(stride: int) -> PatternFn:
-    def fn(rng, footprint, length):
-        return patterns.strided(rng, footprint, length, stride)
+def _sequential(streams: int = 1, stride: int = 1, repeats: int = 4) -> Pattern:
+    return Pattern(lambda rng, footprint, length:
+                   patterns.SequentialState(rng, footprint, streams, stride,
+                                            repeats))
 
-    return fn
+
+def _gaussian(sigma: float, drift: float = 2.0) -> Pattern:
+    return Pattern(lambda rng, footprint, length:
+                   patterns.GaussianWalkState(rng, footprint, sigma, drift))
+
+
+def _chase(restart: int = 4096) -> Pattern:
+    return Pattern(lambda rng, footprint, length:
+                   patterns.PointerChaseState(rng, footprint, restart))
+
+
+def _strided(stride: int) -> Pattern:
+    return Pattern(lambda rng, footprint, length:
+                   patterns.StridedState(rng, footprint, stride))
 
 
 def _site(pages: int, count: int = 1, kind: VMAKind = VMAKind.HEAP) -> AllocationSite:

@@ -2,6 +2,10 @@
 
 from repro.util.rng import make_rng, spawn_rng
 from repro.util.histogram import Histogram, cdf_points
+from repro.util.proc import peak_rss_bytes
 from repro.util.tables import format_table
 
-__all__ = ["make_rng", "spawn_rng", "Histogram", "cdf_points", "format_table"]
+__all__ = [
+    "make_rng", "spawn_rng", "Histogram", "cdf_points", "format_table",
+    "peak_rss_bytes",
+]

@@ -1,0 +1,22 @@
+"""Process introspection helpers (peak-RSS gauge)."""
+
+from __future__ import annotations
+
+import sys
+
+
+def peak_rss_bytes() -> int:
+    """This process's high-water resident set size, in bytes.
+
+    A monotonic gauge (``ru_maxrss``): it records the *peak*, so a
+    bounded-memory claim is checked by asserting the gauge stayed low
+    across a run, not by watching it fall.  Returns 0 on platforms
+    without ``resource`` (Windows).
+    """
+    try:
+        import resource
+    except ImportError:
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    return rss if sys.platform == "darwin" else rss * 1024

@@ -1,0 +1,122 @@
+"""The O(1) allocated/free frame counters stay in lock step.
+
+``BuddyAllocator.free_frames``/``allocated_frames`` are now running
+counters rather than sums over the block tables; every bookkeeping
+path — splits, coalescing, trims, targeted reservation, consolidation,
+isolation, migration-style single-frame frees — must keep them equal to
+what re-summing would produce (``check_invariants`` asserts exactly
+that, so these tests churn and call it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.frames import FrameRange
+
+
+def assert_counters(buddy):
+    buddy.check_invariants()  # includes the counter-vs-table check
+    assert buddy.allocated_frames == sum(
+        block.count for block in buddy.allocated_blocks())
+    assert buddy.free_frames + buddy.allocated_frames == buddy.total_frames
+
+
+class TestCounters:
+    def test_fresh_allocator(self):
+        buddy = BuddyAllocator(256)
+        assert buddy.allocated_frames == 0
+        assert buddy.free_frames == 256
+        assert_counters(buddy)
+
+    def test_alloc_and_free_order(self):
+        buddy = BuddyAllocator(256)
+        block = buddy.alloc_order(3)
+        assert buddy.allocated_frames == 8
+        assert buddy.free_frames == 248
+        assert_counters(buddy)
+        buddy.free(block)
+        assert buddy.allocated_frames == 0
+        assert_counters(buddy)
+
+    def test_alloc_pages_with_trim(self):
+        buddy = BuddyAllocator(256)
+        ranges = buddy.alloc_pages(37)  # not a power of two: trims
+        assert sum(r.count for r in ranges) == 37
+        assert buddy.allocated_frames == 37
+        assert_counters(buddy)
+
+    def test_alloc_exact_run_and_free_run(self):
+        buddy = BuddyAllocator(256)
+        run = buddy.alloc_exact_run(21)
+        assert run is not None and run.count == 21
+        assert buddy.allocated_frames == 21
+        assert_counters(buddy)
+        buddy.free_run(run)
+        assert buddy.allocated_frames == 0
+        assert_counters(buddy)
+
+    def test_reserve_free_in_range(self):
+        buddy = BuddyAllocator(256)
+        claimed = buddy.reserve_free_in_range(10, 53)
+        assert sum(r.count for r in claimed) == 43
+        assert buddy.allocated_frames == 43
+        assert_counters(buddy)
+
+    def test_consolidate_is_net_zero(self):
+        buddy = BuddyAllocator(64)
+        for _ in range(4):
+            buddy.alloc_order(0)
+        before = buddy.allocated_frames
+        buddy.consolidate(0, 2)
+        assert buddy.allocated_frames == before
+        assert_counters(buddy)
+
+    def test_isolate_and_free_frame(self):
+        buddy = BuddyAllocator(64)
+        block = buddy.alloc_order(3)
+        buddy.isolate_frame(block.start + 2)
+        assert buddy.allocated_frames == 8  # isolation moves no frames
+        assert_counters(buddy)
+        buddy.free_frame(block.start + 2)
+        assert buddy.allocated_frames == 7
+        assert_counters(buddy)
+
+    def test_failed_alloc_pages_rolls_back(self):
+        buddy = BuddyAllocator(16)
+        buddy.alloc_pages(12)
+        held = buddy.allocated_frames
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_pages(8)
+        assert buddy.allocated_frames == held
+        assert_counters(buddy)
+
+    def test_fragmentation_churn(self):
+        rng = np.random.default_rng(17)
+        buddy = BuddyAllocator(1024)
+        held = buddy.fragment(rng, 0.4)
+        assert buddy.allocated_frames == sum(b.count for b in held)
+        assert_counters(buddy)
+        for block in held[::2]:
+            buddy.free(block)
+        assert_counters(buddy)
+
+    def test_random_mixed_churn(self):
+        rng = np.random.default_rng(23)
+        buddy = BuddyAllocator(512)
+        live: list[FrameRange] = []
+        for step in range(200):
+            if live and rng.random() < 0.45:
+                buddy.free(live.pop(int(rng.integers(len(live)))))
+            else:
+                try:
+                    live.extend(buddy.alloc_pages(int(rng.integers(1, 20))))
+                except OutOfMemoryError:
+                    while live:
+                        buddy.free(live.pop())
+            if step % 20 == 0:
+                assert_counters(buddy)
+        assert_counters(buddy)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import TraceFormatError
 from repro.sim.trace import Trace, concatenate
 
 
@@ -66,3 +67,82 @@ class TestTrace:
     def test_concatenate_empty(self):
         with pytest.raises(ValueError):
             concatenate([])
+
+    def test_iter_chunks_views(self):
+        trace = make(list(range(10)), 100)
+        chunks = list(trace.iter_chunks(4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        np.testing.assert_array_equal(np.concatenate(chunks), trace.vpns)
+        # Zero-copy: the chunks are views over the trace's own array.
+        assert chunks[0].base is trace.vpns
+
+    def test_iter_chunks_validates(self):
+        with pytest.raises(ValueError):
+            list(make([1, 2]).iter_chunks(0))
+
+    def test_materialize_is_identity(self):
+        trace = make([1, 2, 3])
+        assert trace.materialize() is trace
+
+
+class TestPersistence:
+    def test_save_appends_suffix_and_returns_path(self, tmp_path):
+        trace = make([1, 2, 3], 30, "suffix")
+        written = trace.save(tmp_path / "trace")
+        assert written == tmp_path / "trace.npz"
+        assert written.is_file()
+        loaded = Trace.load(written)
+        assert list(loaded) == [1, 2, 3]
+
+    def test_load_without_suffix(self, tmp_path):
+        make([4, 5], 20, "bare").save(tmp_path / "bare")
+        loaded = Trace.load(tmp_path / "bare")
+        assert list(loaded) == [4, 5]
+        assert loaded.name == "bare"
+
+    def test_explicit_suffix_not_doubled(self, tmp_path):
+        written = make([9], 10).save(tmp_path / "t.npz")
+        assert written == tmp_path / "t.npz"
+        assert not (tmp_path / "t.npz.npz").exists()
+
+    def test_empty_name_round_trips(self, tmp_path):
+        written = make([7, 7], 14, "").save(tmp_path / "anon")
+        loaded = Trace.load(written)
+        assert loaded.name == ""
+        assert list(loaded) == [7, 7]
+
+    def test_loaded_trace_supports_prefix_and_subsample(self, tmp_path):
+        written = make(list(range(20)), 200, "ops").save(tmp_path / "ops")
+        loaded = Trace.load(written)
+        assert list(loaded.prefix(5)) == [0, 1, 2, 3, 4]
+        assert list(loaded.subsample(5)) == [0, 5, 10, 15]
+
+    def test_corrupt_file_raises_clean_error(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(TraceFormatError):
+            Trace.load(path)
+
+    def test_truncated_file_raises_clean_error(self, tmp_path):
+        written = make(list(range(100)), 300).save(tmp_path / "cut")
+        raw = written.read_bytes()
+        written.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(TraceFormatError):
+            Trace.load(written)
+
+    def test_wrong_members_raises_clean_error(self, tmp_path):
+        path = tmp_path / "alien.npz"
+        np.savez_compressed(path, something_else=np.arange(4))
+        with pytest.raises(TraceFormatError):
+            Trace.load(path)
+
+    def test_invalid_payload_raises_clean_error(self, tmp_path):
+        path = tmp_path / "zeroinsn.npz"
+        np.savez_compressed(
+            path, vpns=np.arange(3, dtype=np.int64), instructions=0, name="z")
+        with pytest.raises(TraceFormatError):
+            Trace.load(path)
+
+    def test_missing_file_keeps_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Trace.load(tmp_path / "nowhere")
