@@ -1,0 +1,33 @@
+"""Repo-specific static analysis for the simulator.
+
+The simulator's correctness rests on conventions that nothing at
+runtime enforces: all randomness flows through :mod:`repro.util.rng`
+so replays are bit-identical, every scheme honours the
+``sync_mapping()``/``_on_mapping_update`` contract, compiled
+:class:`~repro.vmos.mapping.FrozenMapping` views are never mutated,
+and hot paths keep explicit numpy dtypes.  This package checks those
+conventions statically, on the AST, so a violation fails CI instead of
+surfacing as a subtly wrong experiment three PRs later.
+
+Entry points:
+
+* ``python -m repro.checks [paths...]`` (or ``anchor-tlb check``) —
+  run every rule, print findings, exit non-zero if any remain;
+* :func:`repro.checks.runner.run_checks` — the same, as a library call
+  (used by the self-check test that keeps ``src/`` clean).
+
+See ``docs/api_tour.md`` §13 for how to add a rule and how the
+baseline/suppression mechanism works.
+"""
+
+from repro.checks.base import Checker, FileContext, ProjectContext
+from repro.checks.findings import Finding
+from repro.checks.runner import run_checks
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Finding",
+    "ProjectContext",
+    "run_checks",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.checks`` — see :mod:`repro.checks.cli`."""
+
+import sys
+
+from repro.checks.cli import main
+
+sys.exit(main())

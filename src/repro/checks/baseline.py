@@ -1,0 +1,75 @@
+"""Baseline files: adopt the linter on a codebase with legacy findings.
+
+A baseline is a JSON file of finding fingerprints.  Findings whose
+fingerprint appears in the baseline are reported as *baselined* and do
+not fail the run, so a new rule can land gating immediately while its
+legacy violations are burned down over time.  The repo itself ships
+with an **empty** baseline — the acceptance bar for new rules is to
+fix what they flag, not to grandfather it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.checks.findings import Finding
+
+#: Bumped when the fingerprint recipe changes (stale baselines must
+#: fail loudly, not silently mask the wrong findings).
+BASELINE_FORMAT = 1
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or wrong-format baseline files."""
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Fingerprints recorded in ``path`` (a missing file is empty)."""
+    if not path.exists():
+        return set()
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != BASELINE_FORMAT:
+        raise BaselineError(
+            f"baseline {path} is not format {BASELINE_FORMAT}; "
+            "regenerate it with --write-baseline"
+        )
+    fingerprints = data.get("fingerprints", [])
+    if not isinstance(fingerprints, list):
+        raise BaselineError(f"baseline {path}: 'fingerprints' must be a list")
+    return {str(fp) for fp in fingerprints}
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Record every current finding so future runs start clean."""
+    payload = {
+        "format": BASELINE_FORMAT,
+        "fingerprints": sorted({f.fingerprint() for f in findings}),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def split_by_baseline(
+    findings: list[Finding], fingerprints: set[str]
+) -> tuple[list[Finding], list[Finding], set[str]]:
+    """Partition into (new, baselined) and report unused fingerprints.
+
+    Unused fingerprints mean the underlying violation was fixed; the
+    caller surfaces them so the baseline file gets pruned rather than
+    accreting dead entries that could mask future regressions.
+    """
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    used: set[str] = set()
+    for finding in findings:
+        fp = finding.fingerprint()
+        if fp in fingerprints:
+            baselined.append(finding)
+            used.add(fp)
+        else:
+            new.append(finding)
+    return new, baselined, fingerprints - used

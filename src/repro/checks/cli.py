@@ -1,0 +1,100 @@
+"""``anchor-tlb check`` / ``python -m repro.checks`` front end."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.checks.baseline import BaselineError, write_baseline
+from repro.checks.runner import run_checks
+from repro.checks.rules import ALL_CHECKERS
+
+#: Default baseline location, relative to the working directory.  The
+#: repo ships no baseline file at all — an absent file is an empty
+#: baseline, which is the acceptance bar for new rules.
+DEFAULT_BASELINE = "checks-baseline.json"
+
+
+def _default_paths() -> list[Path]:
+    src = Path("src/repro")
+    if src.is_dir():
+        return [src]
+    import repro
+    return [Path(repro.__file__).parent]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="anchor-tlb check",
+        description="AST-based contract linter for the simulator "
+                    "(determinism, scheme contracts, frozen views, "
+                    "dtype hygiene, deprecations, repo hygiene)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file masking known findings "
+             f"(default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record every current finding into the baseline file "
+             "and exit 0",
+    )
+    parser.add_argument(
+        "--no-repo-checks", action="store_true",
+        help="skip the git-based repo hygiene checks (tracked bytecode)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule ids and descriptions, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for checker in ALL_CHECKERS:
+            print(f"{checker.rule:<18} {checker.description}")
+        print(f"{'tracked-bytecode':<18} compiled bytecode tracked by git "
+              "(repo-level check)")
+        return 0
+
+    baseline_path = args.baseline or Path(DEFAULT_BASELINE)
+    rules = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules else None
+    )
+    try:
+        result = run_checks(
+            args.paths or _default_paths(),
+            rules=rules,
+            baseline_path=None if args.write_baseline else baseline_path,
+            repo_checks=not args.no_repo_checks,
+        )
+    except (BaselineError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(f"baseline with {len(result.findings)} finding(s) written "
+              f"to {baseline_path}")
+        return 0
+
+    print(result.to_json() if args.format == "json" else result.render())
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""The finding model: one rule violation at one source location."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation, with everything needed to locate and fix it.
+
+    ``path`` is stored relative to the scanned root (posix separators)
+    so findings — and the baseline fingerprints derived from them —
+    compare equal across machines and checkouts.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def fingerprint(self) -> str:
+        """Stable identity for the baseline mechanism.
+
+        Deliberately excludes the line/column: editing code *above* a
+        baselined finding must not resurrect it.  Two identical
+        violations in one file share a fingerprint; the baseline then
+        masks both, which is the conservative direction (a masked
+        finding never blocks CI, an unmasked one does).
+        """
+        material = f"{self.rule}::{self.path}::{self.message}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["fingerprint"] = self.fingerprint()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        return cls(
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule=data["rule"],
+            message=data["message"],
+            hint=data.get("hint", ""),
+        )
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

@@ -1,0 +1,67 @@
+"""Rule ``deprecation``: no internal callers of deprecated APIs.
+
+A function that emits ``DeprecationWarning`` is a promise to external
+users; internal code has no excuse to keep calling it (and internal
+calls are exactly what keeps the shim alive forever).  The collect
+pass finds every function whose body warns with ``DeprecationWarning``;
+the check pass flags any call to one of those names elsewhere in the
+tree.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.base import Checker, dotted_name
+
+
+def _is_deprecation_warn(node: ast.Call) -> bool:
+    name = dotted_name(node.func)
+    if name is None or name.split(".")[-1] != "warn":
+        return False
+    candidates = list(node.args) + [
+        kw.value for kw in node.keywords if kw.arg == "category"
+    ]
+    for arg in candidates:
+        arg_name = dotted_name(arg)
+        if arg_name and arg_name.split(".")[-1] == "DeprecationWarning":
+            return True
+    return False
+
+
+class DeprecationChecker(Checker):
+    rule = "deprecation"
+    description = "internal call to a DeprecationWarning-emitting API"
+
+    def _shared(self) -> dict[str, str]:
+        return self.project.shared.setdefault(self.rule, {})
+
+    def collect(self) -> None:
+        deprecated = self._shared()
+        for node in ast.walk(self.ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call) and _is_deprecation_warn(sub):
+                    deprecated[node.name] = f"{self.ctx.relpath}:{node.lineno}"
+                    break
+
+    def visit_Call(self, node: ast.Call) -> None:
+        deprecated = self._shared()
+        name = dotted_name(node.func)
+        if name is not None:
+            short = name.split(".")[-1]
+            definition = deprecated.get(short)
+            inside_shim = (
+                self.current_function is not None
+                and self.current_function.name == short
+            )
+            if definition is not None and not inside_shim:
+                self.report(
+                    node,
+                    f"call to deprecated API '{short}()' "
+                    f"(deprecated at {definition})",
+                    hint="migrate to the replacement named in the "
+                         "deprecation message, then delete the shim",
+                )
+        self.generic_visit(node)

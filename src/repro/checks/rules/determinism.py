@@ -1,0 +1,119 @@
+"""Rule ``determinism``: all entropy flows through ``repro.util.rng``.
+
+Experiments must replay bit-identically from one integer seed
+(``docs/api_tour.md`` §2).  That breaks the moment any simulator code
+draws from an unseeded generator, reads the wall clock into results,
+hashes with the per-process-salted builtin ``hash``, or iterates a
+directory in filesystem order.  Everything stochastic goes through
+:func:`repro.util.rng.make_rng` / :func:`~repro.util.rng.spawn_rng`;
+wall-clock *duration* measurement stays on the monotonic clocks
+(``time.perf_counter`` / ``time.monotonic``), which this rule allows.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.base import Checker, dotted_name
+
+#: Files that implement the sanctioned entropy/clock access.
+_EXEMPT = ("util/rng.py", "util/proc.py")
+
+#: Wall-clock reads (monotonic clocks are fine: durations, not values).
+_CLOCK_CALLS = {"time.time", "time.time_ns"}
+
+#: ``datetime.now()`` and friends, matched on the attribute chain.
+_DATETIME_ATTRS = {"now", "utcnow", "today", "utcfromtimestamp"}
+
+#: Directory listings whose order the filesystem picks.
+_FS_ORDER_CALLS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+
+
+class DeterminismChecker(Checker):
+    rule = "determinism"
+    description = (
+        "randomness outside util.rng, wall-clock reads, salted hash(), "
+        "or filesystem-ordered iteration in simulator code"
+    )
+
+    def check(self) -> None:
+        if self.ctx.scoped_path in _EXEMPT:
+            return
+        #: id()s of directory-listing calls wrapped directly in sorted().
+        self._sorted_wrapped: set[int] = set()
+        super().check()
+
+    # -- imports --------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.report(
+                    node,
+                    "import of the stdlib 'random' module",
+                    hint="draw from repro.util.rng.make_rng/spawn_rng instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self.report(
+                node,
+                "import from the stdlib 'random' module",
+                hint="draw from repro.util.rng.make_rng/spawn_rng instead",
+            )
+        self.generic_visit(node)
+
+    # -- calls ----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            self._check_call(node, name)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, name: str) -> None:
+        parts = name.split(".")
+        if "random" in parts[:-1] and parts[0] in ("np", "numpy"):
+            self.report(
+                node,
+                f"direct numpy randomness '{name}()'",
+                hint="route through repro.util.rng.make_rng/spawn_rng so "
+                     "the stream is derived from the experiment seed",
+            )
+        elif name in _CLOCK_CALLS:
+            self.report(
+                node,
+                f"wall-clock read '{name}()'",
+                hint="use time.perf_counter()/time.monotonic() for "
+                     "durations; wall-clock values are not reproducible",
+            )
+        elif parts[-1] in _DATETIME_ATTRS and any(
+            p.startswith("date") for p in parts[:-1]
+        ):
+            self.report(
+                node,
+                f"wall-clock read '{name}()'",
+                hint="timestamps do not belong in simulator state; pass "
+                     "them in from the caller if a report needs one",
+            )
+        elif name == "hash":
+            self.report(
+                node,
+                "builtin hash() is salted per interpreter (PYTHONHASHSEED)",
+                hint="use zlib.crc32 (see repro.util.rng.spawn_rng) or "
+                     "hashlib for stable digests",
+            )
+        elif name in _FS_ORDER_CALLS:
+            if id(node) not in self._sorted_wrapped:
+                self.report(
+                    node,
+                    f"'{name}()' yields entries in filesystem order",
+                    hint="wrap the call in sorted(...) so iteration order "
+                         "is stable across machines",
+                )
+        elif name == "sorted" and node.args:
+            inner = node.args[0]
+            if (isinstance(inner, ast.Call)
+                    and dotted_name(inner.func) in _FS_ORDER_CALLS):
+                self._sorted_wrapped.add(id(inner))

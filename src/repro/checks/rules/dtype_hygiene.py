@@ -1,0 +1,67 @@
+"""Rule ``dtype-hygiene``: hot-path arrays declare their dtype.
+
+``np.zeros(n)`` is float64; ``np.array([...])`` guesses, and the guess
+differs across platforms (Windows defaults integer arrays to int32).
+The batched engine's bit-identical-parity guarantee assumes the page
+number arrays are exactly ``int64`` everywhere, so in the hot-path
+modules every array constructor must say what it means.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.base import Checker, dotted_name
+
+#: Package-relative files/dirs the rule applies to (the hot paths).
+TARGETS = ("sim/lru.py", "sim/patterns.py", "hw/", "vmos/mapping.py")
+
+#: Constructors that pick a default dtype when none is given, and the
+#: argument count at which the dtype has been passed positionally.
+_CONSTRUCTORS = {
+    "array": 2,
+    "zeros": 2,
+    "ones": 2,
+    "empty": 2,
+    "fromiter": 2,
+    "full": 3,
+    "arange": 4,
+}
+
+
+def applies_to(scoped_path: str) -> bool:
+    return any(
+        scoped_path == t or (t.endswith("/") and scoped_path.startswith(t))
+        for t in TARGETS
+    )
+
+
+class DtypeHygieneChecker(Checker):
+    rule = "dtype-hygiene"
+    description = (
+        "numpy array constructor without an explicit dtype in a "
+        "hot-path module"
+    )
+
+    def check(self) -> None:
+        if not applies_to(self.ctx.scoped_path):
+            return
+        super().check()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = name.split(".")
+            if (len(parts) == 2
+                    and parts[0] in ("np", "numpy")
+                    and parts[1] in _CONSTRUCTORS):
+                has_kw = any(kw.arg == "dtype" for kw in node.keywords)
+                has_pos = len(node.args) >= _CONSTRUCTORS[parts[1]]
+                if not (has_kw or has_pos):
+                    self.report(
+                        node,
+                        f"'{name}()' without an explicit dtype",
+                        hint="pass dtype=np.int64 (or the intended type); "
+                             "default dtypes drift across platforms",
+                    )
+        self.generic_visit(node)

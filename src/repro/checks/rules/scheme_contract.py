@@ -1,0 +1,219 @@
+"""Rule ``scheme-contract``: schemes honour the sync/update contract.
+
+PR 3's mapping-version protocol keeps every scheme's compiled coverage
+structures in step with OS mutations: the engine calls
+``sync_mapping()`` at epoch boundaries, a version change fires
+``_on_mapping_update`` exactly once, and the default reaction is a
+full TLB flush.  Three ways a scheme silently breaks this:
+
+1. a registry-constructible scheme forgets a required hook
+   (``access`` / ``_translate`` / a report ``name``) — the abstract
+   base only catches the abstract methods, at *instantiation* time;
+2. an ``_on_mapping_update`` override rebuilds its structures but
+   drops the flush — resident TLB entries then translate through
+   frames the OS just remapped;
+3. a method caches mapping-derived state on ``self`` outside the
+   version-guarded paths, recreating exactly the stale-snapshot bug
+   the protocol exists to close.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.checks.base import Checker, FileContext, dotted_name
+
+_ROOT_CLASS = "TranslationScheme"
+
+#: Methods allowed to derive self.* state from the mapping: the
+#: constructor, the version-guarded rebuild paths, and the engine's
+#: epoch-boundary replan hook (which always reads the live mapping).
+_GUARDED_METHODS = {"__init__", "rebuild", "reselect_distance",
+                    "_on_mapping_update"}
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    bases: list[str]
+    methods: set[str] = field(default_factory=set)
+    class_attrs: set[str] = field(default_factory=set)
+    relpath: str = ""
+    lineno: int = 0
+
+
+def _in_schemes(ctx: FileContext) -> bool:
+    return ctx.scoped_path.startswith("schemes/")
+
+
+class SchemeContractChecker(Checker):
+    rule = "scheme-contract"
+    description = (
+        "TranslationScheme subclass violating the sync_mapping/"
+        "_on_mapping_update contract or missing required hooks"
+    )
+
+    # -- collect: class map + registry-constructed names ----------------
+
+    def _shared(self) -> dict:
+        return self.project.shared.setdefault(
+            self.rule, {"classes": {}, "registered": set()})
+
+    def collect(self) -> None:
+        if not _in_schemes(self.ctx):
+            return
+        shared = self._shared()
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                info = ClassInfo(
+                    name=node.name,
+                    bases=[b for b in map(dotted_name, node.bases) if b],
+                    relpath=self.ctx.relpath,
+                    lineno=node.lineno,
+                )
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info.methods.add(stmt.name)
+                    elif isinstance(stmt, ast.Assign):
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                info.class_attrs.add(target.id)
+                    elif (isinstance(stmt, ast.AnnAssign)
+                          and isinstance(stmt.target, ast.Name)):
+                        info.class_attrs.add(stmt.target.id)
+                shared["classes"][node.name] = info
+        if self.ctx.scoped_path == "schemes/registry.py":
+            for node in ast.walk(self.ctx.tree):
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                    shared["registered"].add(node.func.id)
+
+    # -- chain helpers --------------------------------------------------
+
+    def _chain(self, name: str) -> list[ClassInfo]:
+        """The class and its in-package bases, root-class exclusive."""
+        classes = self._shared()["classes"]
+        chain: list[ClassInfo] = []
+        seen: set[str] = set()
+        while name in classes and name not in seen and name != _ROOT_CLASS:
+            seen.add(name)
+            info = classes[name]
+            chain.append(info)
+            name = info.bases[0].split(".")[-1] if info.bases else ""
+        return chain
+
+    def _is_scheme(self, name: str) -> bool:
+        """True when the chain reaches TranslationScheme (exclusive)."""
+        chain = self._chain(name)
+        return bool(chain) and any(
+            b.split(".")[-1] == _ROOT_CLASS
+            for info in chain for b in info.bases
+        )
+
+    # -- check ----------------------------------------------------------
+
+    def check(self) -> None:
+        if not _in_schemes(self.ctx):
+            return
+        super().check()
+
+    def handle_class(self, node: ast.ClassDef) -> None:
+        shared = self._shared()
+        if node.name not in shared["registered"] or not self._is_scheme(node.name):
+            return
+        chain = self._chain(node.name)
+        defined = {m for info in chain for m in info.methods}
+        attrs = {a for info in chain for a in info.class_attrs}
+        for hook in ("access", "_translate"):
+            if hook not in defined:
+                self.report(
+                    node,
+                    f"registered scheme '{node.name}' never implements "
+                    f"'{hook}' (the abstract default would only fail at "
+                    "instantiation)",
+                    hint=f"define {hook}() on the class or a base",
+                )
+        if "name" not in attrs:
+            self.report(
+                node,
+                f"registered scheme '{node.name}' has no 'name' class "
+                "attribute for reports",
+                hint="set name = \"...\" matching the registry id",
+            )
+
+    def handle_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        cls = self.current_class
+        if (cls is None or len(self.func_stack) > 1
+                or not any(stmt is node for stmt in cls.body)
+                or cls.name == _ROOT_CLASS
+                or not self._is_scheme(cls.name)):
+            return
+        if node.name == "_on_mapping_update":
+            self._check_update_hook(node)
+        self._check_mapping_caching(node)
+
+    def _check_update_hook(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = dotted_name(sub.func)
+            if name == "self.flush":
+                return
+            if (isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "_on_mapping_update"):
+                return  # delegates to super()._on_mapping_update(...)
+        self.report(
+            node,
+            "_on_mapping_update override neither flushes nor delegates: "
+            "resident TLB entries survive the remap",
+            hint="call self.flush() (or super()._on_mapping_update(frozen)) "
+                 "after rebuilding derived state",
+        )
+
+    def _check_mapping_caching(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        if node.name in _GUARDED_METHODS or node.name.startswith("_build"):
+            return
+        resyncs = any(
+            isinstance(sub, ast.Assign)
+            and any(
+                isinstance(t, ast.Attribute) and t.attr == "_synced_version"
+                for t in sub.targets
+            )
+            for sub in ast.walk(node)
+        )
+        if resyncs:
+            return
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Assign):
+                continue
+            caches_on_self = any(
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+                and t.attr != "_synced_version"
+                for t in sub.targets
+            )
+            if (caches_on_self and sub.value is not None
+                    and self._mentions_mapping(sub.value)):
+                self.report(
+                    sub,
+                    f"'{node.name}' caches mapping-derived state on self "
+                    "outside the version-guarded paths",
+                    hint="derive it in __init__/_build_*/_on_mapping_update, "
+                         "or resync self._synced_version in this method",
+                )
+
+    @staticmethod
+    def _mentions_mapping(expr: ast.AST) -> bool:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Attribute) and sub.attr in ("mapping", "frozen"):
+                return True
+            if isinstance(sub, ast.Name) and sub.id in ("mapping", "frozen"):
+                return True
+        return False

@@ -1,0 +1,47 @@
+"""Rule ``tracked-bytecode``: no committed ``.pyc`` / ``__pycache__``.
+
+PR 4 accidentally committed 75 compiled-bytecode files; this repo-level
+check (not an AST rule) asks git which tracked paths are bytecode and
+fails if any exist.  It is a no-op outside a git work tree or when git
+is unavailable, so the AST rules still run on exported source trees.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+from repro.checks.findings import Finding
+
+_PATTERNS = ("*.pyc", "*.pyo", "*$py.class", "__pycache__")
+
+
+def tracked_bytecode_findings(root: Path) -> list[Finding]:
+    """One finding per git-tracked bytecode file under ``root``."""
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(root), "ls-files", "--"]
+            + [f"**/{p}" for p in _PATTERNS] + list(_PATTERNS),
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if proc.returncode != 0:  # not a git work tree
+        return []
+    findings = []
+    for path in sorted(set(proc.stdout.splitlines())):
+        if not path:
+            continue
+        findings.append(Finding(
+            path=path,
+            line=1,
+            col=0,
+            rule="tracked-bytecode",
+            message="compiled bytecode is tracked by git",
+            hint="git rm --cached the file; .gitignore already excludes "
+                 "__pycache__/ and *.pyc",
+        ))
+    return findings

@@ -24,11 +24,9 @@ G. Virtualization (§6): nested guest-on-host translation; composed
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.experiments.common import ExperimentConfig, MatrixRunner
 from repro.experiments.report import Report
-from repro.params import DEFAULT_MACHINE, MachineConfig, TLBGeometry
+from repro.params import MachineConfig, TLBGeometry
 from repro.schemes import make_scheme
 from repro.schemes.anchor_scheme import AnchorScheme
 from repro.sim.engine import simulate

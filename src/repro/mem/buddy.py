@@ -120,7 +120,8 @@ class BuddyAllocator:
         try:
             while remaining:
                 order = min(remaining.bit_length() - 1, self.max_order)
-                while order > 0 and not self._free[order] and not self._has_free_at_least(order):
+                while (order > 0 and not self._free[order]
+                        and not self._has_free_at_least(order)):
                     order -= 1
                 block = self.alloc_order(order)
                 if block.count > remaining:
@@ -381,11 +382,13 @@ class BuddyAllocator:
         del self._allocated[block.start]
         self._allocated_frames -= block.count
         kept: list[FrameRange] = []
-        for start, order in aligned_decompose(block.start, block.start + keep, self.max_order):
+        for start, order in aligned_decompose(
+                block.start, block.start + keep, self.max_order):
             self._allocated[start] = order
             self._allocated_frames += 1 << order
             kept.append(FrameRange(start, 1 << order))
-        for start, order in aligned_decompose(block.start + keep, block.end, self.max_order):
+        for start, order in aligned_decompose(
+                block.start + keep, block.end, self.max_order):
             self._insert_free(start, order)
         return kept
 

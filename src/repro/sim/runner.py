@@ -51,7 +51,7 @@ from repro.errors import CellFailedError, OrchestrationError
 from repro.params import DEFAULT_MACHINE, MachineConfig
 from repro.sim.engine import DEFAULT_EPOCH_REFERENCES, SimulationResult, simulate
 from repro.sim.stats import canonical_json
-from repro.sim.trace import Trace, TraceSource
+from repro.sim.trace import Trace
 from repro.sim.trace_store import TraceStore
 from repro.sim.workloads import get_workload
 from repro.util.proc import peak_rss_bytes

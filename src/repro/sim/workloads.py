@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.sim import patterns
 from repro.sim.trace import DEFAULT_CHUNK_REFERENCES, Trace, TraceSource
-from repro.util.rng import spawn_rng
+from repro.util.rng import make_rng, spawn_rng
 from repro.vmos.vma import VMA, AllocationSite, VMAKind, layout_vmas
 
 
@@ -173,7 +173,7 @@ def _mix(*components: tuple[float, Pattern]) -> Pattern:
             def factory(sub=sub, child_seed=child_seed,
                         stream_length=stream_length):
                 return sub.state(
-                    np.random.default_rng(child_seed), footprint, stream_length
+                    make_rng(child_seed), footprint, stream_length
                 )
 
             streams.append((weight, factory, stream_length))
@@ -345,7 +345,8 @@ _register(Workload(
     name="xalancbmk",
     sites=(_site(128, 60), _site(1024, 3)),        # DOM arenas
     mem_ops_per_instr=0.30,
-    pattern=_mix((0.45, _zipf(1.3)), (0.35, _gaussian(64.0)), (0.2, _sequential(streams=2))),
+    pattern=_mix((0.45, _zipf(1.3)), (0.35, _gaussian(64.0)),
+                 (0.2, _sequential(streams=2))),
     description="XSLT: DOM node soup with skewed reuse",
 ))
 

@@ -20,7 +20,7 @@ so they fragment each other — the paper's Fig. 1 world.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mem.physmem import PhysicalMemory
 from repro.params import DEFAULT_MACHINE, MachineConfig

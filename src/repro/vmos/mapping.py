@@ -10,7 +10,6 @@ histogram, and ground-truth translation for the differential tests.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -43,7 +42,7 @@ class FrozenMapping:
     The batched engine needs the mapping as numpy arrays (bulk
     ``searchsorted`` translation, run lookups) rather than as a dict;
     compiling that view per reference block would dominate the fast
-    path, and the per-scheme ``as_dict()`` snapshots it replaces went
+    path, and the per-scheme dict snapshots it replaced went
     silently stale when the mapping mutated.  A ``FrozenMapping`` is
     compiled once per :attr:`MemoryMapping.version` and shared by every
     scheme over the same mapping (see :meth:`MemoryMapping.frozen`);
@@ -273,22 +272,6 @@ class MemoryMapping:
     def items(self):
         """Yield (vpn, pfn) in ascending VPN order."""
         yield from sorted(self._map.items())
-
-    def as_dict(self) -> dict[int, int]:
-        """Deprecated: a copy of the raw map.
-
-        The per-scheme copies this fed were both a hot-path cost and a
-        stale-cache hazard (never invalidated on mutation).  Schemes now
-        read through :meth:`frozen`, which shares one compiled view per
-        mapping version; iteration callers should use :meth:`items`.
-        """
-        warnings.warn(
-            "MemoryMapping.as_dict() is deprecated; use frozen() for "
-            "version-checked compiled views or items() for iteration",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return dict(self._map)
 
     def frozen(self) -> FrozenMapping:
         """The compiled view of the current version (cached, shared).

@@ -99,7 +99,9 @@ def max_contiguity_mapping(vmas: list[VMA], rng: np.random.Generator) -> MemoryM
     return mapping
 
 
-def _physical_memory_for(vmas: list[VMA], profile: str, seed: int | None) -> PhysicalMemory:
+def _physical_memory_for(
+    vmas: list[VMA], profile: str, seed: int | None
+) -> PhysicalMemory:
     """Size physical memory to twice the footprint, plus pressure.
 
     Twice the footprint under the ``heavy`` background profile leaves

@@ -1,0 +1,9 @@
+from repro.checks_fixture.shim import new_api, old_api
+
+
+def uses_old(obj):
+    return old_api() + obj.old_api()
+
+
+def uses_new():
+    return new_api()

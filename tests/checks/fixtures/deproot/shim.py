@@ -1,0 +1,11 @@
+import warnings
+
+
+def old_api():
+    warnings.warn("old_api() is deprecated; use new_api()",
+                  DeprecationWarning, stacklevel=2)
+    return new_api()
+
+
+def new_api():
+    return 42

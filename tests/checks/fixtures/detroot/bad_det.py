@@ -1,0 +1,29 @@
+"""Deliberate determinism violations (fixture; parsed, never imported)."""
+import random  # noqa: F401
+
+import numpy as np
+
+
+def draw():
+    rng = np.random.default_rng(0)
+    np.random.seed(1)
+    return rng
+
+
+def clock():
+    import time
+    return time.time()
+
+
+def stamp():
+    from datetime import datetime
+    return datetime.now()
+
+
+def salted(key):
+    return hash(key)
+
+
+def listing(path):
+    import os
+    return os.listdir(path)

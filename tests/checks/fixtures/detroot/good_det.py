@@ -1,0 +1,15 @@
+"""Determinism-clean counterparts (fixture)."""
+import os
+import time
+
+
+def duration():
+    return time.perf_counter(), time.monotonic()
+
+
+def listing(path):
+    return sorted(os.listdir(path))
+
+
+def draw(make_rng):
+    return make_rng(7)

@@ -1,0 +1,6 @@
+"""Mimics repro/util/rng.py: the one sanctioned entropy source."""
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,3 @@
+import numpy as np
+
+cold_path = np.zeros(3)  # outside the hot-path scope: not flagged

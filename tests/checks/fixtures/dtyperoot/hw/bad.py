@@ -1,0 +1,6 @@
+import numpy as np
+
+a = np.zeros(4)
+b = np.array([1, 2])
+c = np.full((2,), -1)
+d = np.arange(10)

@@ -1,0 +1,7 @@
+import numpy as np
+
+a = np.zeros(4, dtype=np.int64)
+b = np.array([1, 2], dtype=np.int64)
+c = np.empty(0, np.int64)
+d = np.arange(10, dtype=np.uint64)
+e = np.zeros_like(a)

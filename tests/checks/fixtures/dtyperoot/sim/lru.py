@@ -1,0 +1,3 @@
+import numpy as np
+
+hot = np.ones(3)

@@ -1,0 +1,7 @@
+from repro.checks_fixture.schemes.impl import CleanScheme, HollowScheme
+
+
+def make_scheme(name, mapping):
+    if name == "hollow":
+        return HollowScheme(mapping)
+    return CleanScheme(mapping)

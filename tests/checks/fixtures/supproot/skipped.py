@@ -1,0 +1,4 @@
+# repro: skip-file — deliberate violations below are invisible
+import numpy as np
+
+rng = np.random.default_rng(0)

@@ -1,0 +1,5 @@
+import numpy as np
+
+rng = np.random.default_rng(0)  # repro: ignore[determinism]
+other = np.random.default_rng(1)  # repro: ignore
+wrong = np.random.default_rng(2)  # repro: ignore[dtype-hygiene]

@@ -1,0 +1,58 @@
+"""Finding model: ordering, fingerprints, dict round-trip."""
+
+from repro.checks.findings import Finding
+
+
+def make(line=3, message="wall-clock read 'time.time()'"):
+    return Finding(
+        path="experiments/cli.py",
+        line=line,
+        col=8,
+        rule="determinism",
+        message=message,
+        hint="use time.perf_counter()",
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_line_moves(self):
+        # Editing code above a baselined finding must not resurrect it.
+        assert make(line=3).fingerprint() == make(line=300).fingerprint()
+
+    def test_sensitive_to_rule_path_message(self):
+        base = make().fingerprint()
+        assert Finding("other.py", 3, 8, "determinism",
+                       make().message).fingerprint() != base
+        assert make(message="different").fingerprint() != base
+
+    def test_short_hex(self):
+        fp = make().fingerprint()
+        assert len(fp) == 16
+        int(fp, 16)  # valid hex
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        finding = make()
+        data = finding.to_dict()
+        assert data["fingerprint"] == finding.fingerprint()
+        assert Finding.from_dict(data) == finding
+
+    def test_from_dict_defaults_hint(self):
+        data = make().to_dict()
+        del data["hint"]
+        assert Finding.from_dict(data).hint == ""
+
+
+def test_sort_order_is_by_location():
+    a = Finding("a.py", 5, 0, "determinism", "m")
+    b = Finding("a.py", 9, 0, "determinism", "m")
+    c = Finding("b.py", 1, 0, "determinism", "m")
+    assert sorted([c, b, a]) == [a, b, c]
+
+
+def test_render_includes_location_rule_and_hint():
+    text = make().render()
+    assert "experiments/cli.py:3:8" in text
+    assert "[determinism]" in text
+    assert "hint: use time.perf_counter()" in text

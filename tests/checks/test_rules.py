@@ -1,0 +1,142 @@
+"""Per-rule positive and negative cases over the fixture trees.
+
+Each fixture root mimics the package layout the rule scopes to
+(``util/rng.py``, ``hw/``, ``schemes/``...), is parsed but never
+imported, and contains both violations and clean counterparts.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.checks.runner import run_checks
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_in(root_name, rules=None):
+    root = FIXTURES / root_name
+    result = run_checks([root], root=root, rules=rules, repo_checks=False)
+    return result.findings
+
+
+def by_file(findings):
+    grouped = {}
+    for f in findings:
+        grouped.setdefault(f.path, []).append(f)
+    return grouped
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return findings_in("detroot", rules=["determinism"])
+
+    def test_flags_each_violation_kind(self, findings):
+        messages = "\n".join(
+            f.message for f in findings if f.path == "bad_det.py")
+        assert "'random' module" in messages
+        assert "np.random.default_rng" in messages
+        assert "np.random.seed" in messages
+        assert "time.time" in messages
+        assert "datetime.now" in messages
+        assert "hash()" in messages
+        assert "os.listdir" in messages
+
+    def test_clean_file_and_rng_exemption(self, findings):
+        files = by_file(findings)
+        assert "good_det.py" not in files  # monotonic clocks, sorted()
+        assert "util/rng.py" not in files  # the sanctioned entropy source
+
+    def test_findings_carry_hints(self, findings):
+        assert all(f.hint for f in findings)
+
+
+class TestDtypeHygiene:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return findings_in("dtyperoot", rules=["dtype-hygiene"])
+
+    def test_flags_bare_constructors_in_hot_paths(self, findings):
+        files = by_file(findings)
+        assert len(files["hw/bad.py"]) == 4  # zeros/array/full/arange
+        assert len(files["sim/lru.py"]) == 1
+
+    def test_explicit_dtype_passes(self, findings):
+        assert "hw/good.py" not in by_file(findings)
+
+    def test_out_of_scope_module_not_flagged(self, findings):
+        assert "experiments/free.py" not in by_file(findings)
+
+
+class TestSchemeContract:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return findings_in("schemeroot", rules=["scheme-contract"])
+
+    def test_hollow_scheme_missing_hooks(self, findings):
+        messages = "\n".join(
+            f.message for f in findings if "HollowScheme" in f.message)
+        assert "'access'" in messages
+        assert "'_translate'" in messages
+        assert "'name'" in messages
+
+    def test_update_hook_without_flush(self, findings):
+        assert any("neither flushes nor delegates" in f.message
+                   for f in findings)
+
+    def test_unguarded_mapping_cache(self, findings):
+        assert any("caches mapping-derived state" in f.message
+                   and "'refresh'" in f.message for f in findings)
+
+    def test_clean_scheme_and_non_scheme_pass(self, findings):
+        text = "\n".join(f.message for f in findings)
+        assert "CleanScheme" not in text
+        assert "Helper" not in text
+        # resync() caches but also resyncs _synced_version: allowed.
+        assert "'resync'" not in text
+
+
+class TestFrozenMutation:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return findings_in("frozenroot", rules=["frozen-mutation"])
+
+    def test_every_mutation_kind_flagged(self, findings):
+        bad = by_file(findings)["bad_frozen.py"]
+        assert len(bad) == 6  # 2 subscript, 1 rebind, 1 augassign, 2 setflags
+
+    def test_builder_and_readers_pass(self, findings):
+        assert "good_frozen.py" not in by_file(findings)
+
+
+class TestDeprecation:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return findings_in("deproot", rules=["deprecation"])
+
+    def test_internal_callers_flagged(self, findings):
+        caller = by_file(findings)["caller.py"]
+        assert len(caller) == 2  # old_api() and obj.old_api()
+        assert all("old_api" in f.message for f in caller)
+        assert all("shim.py" in f.message for f in caller)  # def site
+
+    def test_shim_body_and_new_api_pass(self, findings):
+        assert "shim.py" not in by_file(findings)
+
+
+class TestSuppression:
+    def test_inline_and_file_pragmas(self):
+        findings = findings_in("supproot")
+        # Three violations in suppressed.py: one silenced by a rule-
+        # scoped pragma, one by a blanket pragma; the third pragma names
+        # the wrong rule and must NOT silence anything.  skipped.py is
+        # opted out entirely.
+        assert len(findings) == 1
+        assert findings[0].path == "suppressed.py"
+        assert findings[0].line == 5
+
+
+def test_unknown_rule_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        findings_in("detroot", rules=["no-such-rule"])

@@ -46,13 +46,10 @@ class TestMappingBasics:
         m.map_page(1, 10)
         assert list(m.items()) == [(1, 10), (5, 50)]
 
-    def test_as_dict_is_deprecated_copy(self):
-        m = MemoryMapping()
-        m.map_page(1, 2)
-        with pytest.deprecated_call():
-            d = m.as_dict()
-        d[1] = 99
-        assert m.translate(1) == 2
+    def test_as_dict_shim_is_gone(self):
+        # Deprecated in PR 1, internal callers removed in PR 3, shim
+        # deleted in PR 5; the deprecation lint would flag it forever.
+        assert not hasattr(MemoryMapping, "as_dict")
 
 
 class TestChunks:
