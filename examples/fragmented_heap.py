@@ -17,7 +17,7 @@ The script walks through the OS mechanics explicitly:
 Run:  python examples/fragmented_heap.py
 """
 
-from repro import get_workload, make_scheme, simulate
+from repro import get_workload, make_scheme, run_trace
 from repro.mem.physmem import PhysicalMemory
 from repro.util.rng import spawn_rng
 from repro.util.tables import format_table
@@ -63,7 +63,7 @@ def main() -> None:
     trace = workload.make_trace(60_000, seed=7)
     rows = []
     for name in ("base", "thp", "cluster2mb", "rmm", "anchor-dyn"):
-        result = simulate(make_scheme(name, mapping), trace)
+        result = run_trace(make_scheme(name, mapping), trace)
         regular, coalesced, miss = result.stats.l2_breakdown()
         rows.append([
             name,

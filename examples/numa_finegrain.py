@@ -21,7 +21,7 @@ Run:  python examples/numa_finegrain.py
 
 import numpy as np
 
-from repro import get_workload, make_scheme, simulate
+from repro import get_workload, make_scheme, run_trace
 from repro.mem.numa import NumaTopology
 from repro.util.rng import spawn_rng
 from repro.util.tables import format_table
@@ -91,7 +91,7 @@ def main() -> None:
         distance = select_distance(histogram)
         memory_lat = dram_cycles(mapping, trace, topology)
         for scheme_name in ("base", "thp", "anchor-dyn"):
-            result = simulate(make_scheme(scheme_name, mapping), trace)
+            result = run_trace(make_scheme(scheme_name, mapping), trace)
             rows.append([
                 label,
                 scheme_name,

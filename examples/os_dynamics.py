@@ -17,7 +17,7 @@ Run:  python examples/os_dynamics.py
 
 from repro.mem.physmem import PhysicalMemory
 from repro.schemes.anchor_scheme import AnchorScheme
-from repro.sim.engine import simulate
+from repro.sim.engine import run_trace
 from repro.util.rng import make_rng, spawn_rng
 from repro.util.tables import format_table
 from repro.vmos.compaction import compact
@@ -71,7 +71,7 @@ def main() -> None:
     picks = vpns[rng.integers(0, len(vpns), EPOCH * EPOCHS)]
     trace = Trace(picks, EPOCH * EPOCHS * 3, "dynamics")
 
-    result = simulate(scheme, trace, epoch_references=EPOCH, on_epoch=on_epoch)
+    result = run_trace(scheme, trace, epoch_references=EPOCH, on_epoch=on_epoch)
     walk_marks.append(result.stats.walks)
     timeline.append([
         EPOCHS, scheme.distance, walk_marks[-1] - walk_marks[-2],

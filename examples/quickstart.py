@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py [references]
 
 import sys
 
-from repro import build_mapping, get_workload, make_scheme, scheme_names, simulate
+from repro import build_mapping, get_workload, make_scheme, scheme_names, run_trace
 from repro.util.tables import format_table
 
 
@@ -35,7 +35,7 @@ def main() -> None:
     rows = []
     baseline_walks = None
     for name in scheme_names():
-        result = simulate(make_scheme(name, mapping), trace)
+        result = run_trace(make_scheme(name, mapping), trace)
         if baseline_walks is None:
             baseline_walks = result.stats.walks
         rows.append([

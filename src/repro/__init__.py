@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from repro.params import DEFAULT_MACHINE, MachineConfig
 from repro.schemes import make_scheme, scheme_names
-from repro.sim.engine import SimulationResult, simulate
+from repro.sim.engine import SimulationResult, run_trace, simulate
 from repro.sim.workloads import WORKLOADS, get_workload, workload_names
 from repro.system import System
 from repro.vmos.scenarios import build_mapping
@@ -37,6 +37,7 @@ __all__ = [
     "make_scheme",
     "scheme_names",
     "SimulationResult",
+    "run_trace",
     "simulate",
     "WORKLOADS",
     "get_workload",
@@ -67,7 +68,7 @@ def quick_compare(
     baseline = None
     rows: list[tuple[str, float]] = []
     for name in names:
-        result = simulate(make_scheme(name, mapping), trace)
+        result = run_trace(make_scheme(name, mapping), trace)
         if name == "base":
             baseline = result
         relative = result.relative_misses(baseline) if baseline else 100.0

@@ -14,7 +14,15 @@ full TLB flush.  Three ways a scheme silently breaks this:
    frames the OS just remapped;
 3. a method caches mapping-derived state on ``self`` outside the
    version-guarded paths, recreating exactly the stale-snapshot bug
-   the protocol exists to close.
+   the protocol exists to close;
+4. a scheme implements the batched ``access_block`` hook without
+   stating its tag story: multi-tenant runs pack an ASID into the high
+   key bits (:data:`repro.hw.tlb.TAG_SHIFT`), and any class providing
+   the batched path must (a) declare ``tag_safe_block`` in the *same*
+   class body — an explicit claim about whether its block kernel keys
+   are tag-packable — and (b) keep the uniform ``(self, vpns)``
+   signature the engine, the scheduler, and the fleet simulator all
+   call through.
 """
 
 from __future__ import annotations
@@ -152,7 +160,45 @@ class SchemeContractChecker(Checker):
             return
         if node.name == "_on_mapping_update":
             self._check_update_hook(node)
+        if node.name == "access_block":
+            self._check_access_block(node, cls)
         self._check_mapping_caching(node)
+
+    def _check_access_block(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, cls: ast.ClassDef
+    ) -> None:
+        args = node.args
+        positional = [a.arg for a in args.posonlyargs + args.args]
+        if (positional != ["self", "vpns"] or args.vararg is not None
+                or args.kwarg is not None or args.kwonlyargs):
+            self.report(
+                node,
+                f"'{cls.name}.access_block' deviates from the uniform "
+                "(self, vpns) signature the engine and the tenant "
+                "scheduler call through",
+                hint="take exactly (self, vpns); move extra knobs to "
+                     "__init__ or class attributes",
+            )
+        declares_tag = any(
+            (isinstance(stmt, ast.Assign)
+             and any(isinstance(t, ast.Name) and t.id == "tag_safe_block"
+                     for t in stmt.targets))
+            or (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "tag_safe_block")
+            for stmt in cls.body
+        )
+        if not declares_tag:
+            self.report(
+                node,
+                f"'{cls.name}' implements access_block without declaring "
+                "'tag_safe_block' in the same class body: the batched "
+                "kernel's tag story must be explicit where the kernel "
+                "is defined",
+                hint="set tag_safe_block = True only if every key the "
+                     "block path installs is packed via the scheme's "
+                     "tag field (or simulate_block); else False",
+            )
 
     def _check_update_hook(
         self, node: ast.FunctionDef | ast.AsyncFunctionDef

@@ -29,7 +29,7 @@ from repro.experiments.report import Report
 from repro.params import MachineConfig, TLBGeometry
 from repro.schemes import make_scheme
 from repro.schemes.anchor_scheme import AnchorScheme
-from repro.sim.engine import simulate
+from repro.sim.engine import run_trace
 from repro.sim.sweep import distance_sweep, useful_distances
 from repro.sim.workloads import get_workload
 from repro.vmos.contiguity import contiguity_histogram
@@ -95,7 +95,7 @@ def l2_size_sweep(
         machine = MachineConfig(l2=TLBGeometry(entries, 8))
         row: list[object] = [entries]
         for scheme in schemes:
-            result = simulate(make_scheme(scheme, mapping, machine), trace)
+            result = run_trace(make_scheme(scheme, mapping, machine), trace)
             row.append(result.stats.walks)
         report.table.append(row)
     return report
@@ -168,7 +168,7 @@ def region_anchors(
         headers=["configuration", "walks", "relative %"],
         precision=1,
     )
-    single = simulate(AnchorScheme(mapping, distance=None), trace)
+    single = run_trace(AnchorScheme(mapping, distance=None), trace)
     report.table.append(["single distance (dynamic)", single.stats.walks, 100.0])
 
     # The real §4.2 scheme: one shared L2, per-region distances from
@@ -176,7 +176,7 @@ def region_anchors(
     from repro.schemes.region_anchor_scheme import RegionAnchorScheme
 
     region_scheme = RegionAnchorScheme(mapping, regions=regions)
-    per_region = simulate(region_scheme, trace)
+    per_region = run_trace(region_scheme, trace)
     report.table.append([
         f"per-region ({len(regions)} regions)",
         per_region.stats.walks,
@@ -238,7 +238,8 @@ def context_switches(
     seed: int | None = None,
 ) -> Report:
     """Walks under time slicing: flush-on-switch vs tagged TLBs."""
-    from repro.sim.multiprog import ProcessRun, simulate_multiprogrammed
+    from repro.sim.multiprog import ProcessRun
+    from repro.sim.tenants import run_timeshared
 
     def build_runs(scheme_name: str):
         runs = []
@@ -261,7 +262,7 @@ def context_switches(
         row: list[object] = [quantum]
         for flush in (True, False):
             for scheme_name in ("base", "anchor-dyn"):
-                result = simulate_multiprogrammed(
+                result = run_timeshared(
                     build_runs(scheme_name), quantum=quantum,
                     flush_on_switch=flush,
                 )
@@ -302,7 +303,7 @@ def pwc_composition(
     for scheme_name in ("base", "anchor-dyn"):
         for pwc in (False, True):
             machine = MachineConfig(pwc=pwc)
-            result = simulate(make_scheme(scheme_name, mapping, machine), trace)
+            result = run_trace(make_scheme(scheme_name, mapping, machine), trace)
             report.table.append([
                 scheme_name,
                 "on" if pwc else "off",
@@ -355,8 +356,8 @@ def virtualization(
         for host_scenario in host_scenarios:
             host = build_host_mapping(guest, host_scenario, seed=seed)
             composed = NestedAddressSpace(guest, host).compose()
-            base = simulate(make_scheme("base", composed, machine), trace)
-            anchor = simulate(make_scheme("anchor-dyn", composed, machine), trace)
+            base = run_trace(make_scheme("base", composed, machine), trace)
+            anchor = run_trace(make_scheme("anchor-dyn", composed, machine), trace)
             report.table.append([
                 guest_scenario,
                 host_scenario,
@@ -399,10 +400,10 @@ def prefetch_vs_coalescing(
         app = get_workload(workload_name)
         mapping = build_mapping(app.vmas(), scenario, seed=seed)
         trace = app.make_trace(references, seed=seed)
-        base = simulate(make_scheme("base", mapping), trace)
+        base = run_trace(make_scheme("base", mapping), trace)
         prefetch_scheme = make_scheme("prefetch", mapping)
-        prefetch = simulate(prefetch_scheme, trace)
-        anchor = simulate(make_scheme("anchor-dyn", mapping), trace)
+        prefetch = run_trace(prefetch_scheme, trace)
+        anchor = run_trace(make_scheme("anchor-dyn", mapping), trace)
         report.table.append([
             workload_name,
             base.stats.walks,

@@ -51,7 +51,7 @@ _MATRIX_EXPERIMENTS = {
 }
 
 _SPECIAL = ["list", "inspect", "trace", "headline", "fig1",
-            "distance-cost", "ablation-a",
+            "distance-cost", "storms", "ablation-a",
             "ablation-b", "ablation-c", "ablation-d", "ablation-e",
             "ablation-f", "ablation-g", "ablation-h"]
 
@@ -188,6 +188,9 @@ def _run_one(name: str, args: argparse.Namespace, runner: MatrixRunner) -> str:
         return text
     if name == "distance-cost":
         return distance_change_cost.run().render()
+    if name == "storms":
+        from repro.experiments import storms
+        return storms.run(seed=args.seed).render()
     if name == "ablation-a":
         return ablations.distance_sensitivity(config=runner.config).render()
     if name == "ablation-b":
@@ -225,12 +228,21 @@ def main(argv: list[str] | None = None) -> int:
         # rest of the command line straight to repro.checks.
         from repro.checks.cli import main as check_main
         return check_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        # The simulation service has its own argument set too.
+        from repro.service.server import serve_main
+        return serve_main(argv[1:])
+    if argv[:1] == ["submit"]:
+        from repro.service.client import submit_main
+        return submit_main(argv[1:])
     names = _SPECIAL + sorted(_MATRIX_EXPERIMENTS)
     parser = argparse.ArgumentParser(
         prog="anchor-tlb",
         description="Hybrid TLB Coalescing (ISCA'17) reproduction "
                     "experiments; 'anchor-tlb check' runs the static-"
-                    "analysis gate (see 'anchor-tlb check --help')",
+                    "analysis gate, 'anchor-tlb serve' / 'anchor-tlb "
+                    "submit' run the shared simulation service "
+                    "(see each subcommand's --help)",
     )
     parser.add_argument("experiment", choices=names + ["all"])
     parser.add_argument("--references", type=int, default=None,

@@ -6,7 +6,7 @@ and trace), baseline normalisation, and the static-ideal search wired in
 as a pseudo-scheme.
 
 Since PR 2 the runner sits on :mod:`repro.sim.runner`: every cell is a
-content-addressed :class:`~repro.sim.runner.JobSpec`, cells can be
+content-addressed :class:`~repro.sim.api.SimRequest`, cells can be
 prefetched in parallel across worker processes, completed cells persist
 in a :class:`~repro.sim.runner.ResultStore`, and a cell whose job
 crashes lands in a failure ledger and renders as a gap instead of
@@ -22,14 +22,13 @@ from pathlib import Path
 from repro.errors import CellFailedError
 from repro.params import DEFAULT_MACHINE, MachineConfig
 from repro.sim.engine import DEFAULT_EPOCH_REFERENCES, SimulationResult
+from repro.sim.api import SimRequest, execute_request
 from repro.sim.runner import (
     STATIC_IDEAL,
     JobFailure,
-    JobSpec,
     Orchestrator,
     ResultStore,
     RunSummary,
-    execute_job,
     mapping_digest,
     simulate_spec,
     trace_digest,
@@ -120,9 +119,9 @@ class MatrixRunner:
     # Specs
     # ------------------------------------------------------------------
 
-    def spec(self, workload: str, scenario: str, scheme: str) -> JobSpec:
+    def spec(self, workload: str, scenario: str, scheme: str) -> SimRequest:
         """The content-addressed job description of one cell."""
-        return JobSpec(
+        return SimRequest(
             workload=workload,
             scenario=scenario,
             scheme=scheme,
@@ -133,8 +132,8 @@ class MatrixRunner:
             machine=self.config.machine,
         )
 
-    def _distance_spec(self, workload: str, scenario: str) -> JobSpec:
-        return JobSpec(
+    def _distance_spec(self, workload: str, scenario: str) -> SimRequest:
+        return SimRequest(
             workload=workload,
             scenario=scenario,
             scheme="-",
@@ -199,7 +198,7 @@ class MatrixRunner:
     # Cell execution
     # ------------------------------------------------------------------
 
-    def _execute_spec(self, spec: JobSpec) -> dict:
+    def _execute_spec(self, spec: SimRequest) -> dict:
         """Serial job function: reuses this runner's in-process caches."""
         if spec.kind == "distances":
             mapping = self.mapping(spec.workload, spec.scenario)
@@ -215,7 +214,7 @@ class MatrixRunner:
             trace_store=self.trace_store,
             timeout=self.timeout,
             retries=self.retries,
-            job_fn=self._execute_spec if self.workers == 0 else execute_job,
+            job_fn=self._execute_spec if self.workers == 0 else execute_request,
             progress=self.progress,
         )
 

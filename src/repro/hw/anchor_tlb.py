@@ -41,12 +41,41 @@ class AnchorL2TLB:
         self.set_distance(distance)
 
     def set_distance(self, distance: int) -> None:
-        """Change the anchor distance register (flushes the TLB, §3.3)."""
+        """Change the anchor distance register (flushes the TLB, §3.3).
+
+        With an address-space tag selected, only the current tenant's
+        entries are dropped: a tenant re-planning its own coverage must
+        not shoot down its neighbours' tagged entries.
+        """
         if distance <= 0 or distance & (distance - 1):
             raise ValueError("distance must be a positive power of two")
         self.distance = distance
         self._dlog = distance.bit_length() - 1
-        self.array.flush()
+        if self.array.tag:
+            self.array.flush_tag(self.array.tag)
+        else:
+            self.array.flush()
+
+    def restore_distance(self, distance: int) -> None:
+        """Restore a tenant's distance register on a context switch.
+
+        Per §3.1 the distance is per-process context reloaded alongside
+        CR3.  Unlike :meth:`set_distance` this does *not* flush: the
+        incoming tenant's entries (created under this same distance) are
+        exactly the ones its tagged lookups can hit, so they survive.
+        """
+        if distance <= 0 or distance & (distance - 1):
+            raise ValueError("distance must be a positive power of two")
+        self.distance = distance
+        self._dlog = distance.bit_length() - 1
+
+    def set_tag(self, tag: int) -> None:
+        """Select the address-space tag on the shared array."""
+        self.array.set_tag(tag)
+
+    def flush_tag(self, tag: int) -> int:
+        """Drop every entry carrying ``tag`` (ASID recycling)."""
+        return self.array.flush_tag(tag)
 
     # -- regular entries ----------------------------------------------------
 

@@ -45,6 +45,20 @@ class L1TLB:
         self.huge.flush()
         self.giga.flush()
 
+    def set_tag(self, tag: int) -> None:
+        """Select the address-space tag on all three arrays."""
+        self.small.set_tag(tag)
+        self.huge.set_tag(tag)
+        self.giga.set_tag(tag)
+
+    def flush_tag(self, tag: int) -> int:
+        """Drop every entry carrying ``tag`` (ASID recycling)."""
+        return (
+            self.small.flush_tag(tag)
+            + self.huge.flush_tag(tag)
+            + self.giga.flush_tag(tag)
+        )
+
     def state(self) -> dict[str, list]:
         """Replacement state of all three arrays (LRU -> MRU per set).
 

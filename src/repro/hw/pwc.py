@@ -137,6 +137,20 @@ class PageWalkCache:
         self._pdpt.flush()
         self._pd.flush()
 
+    def set_tag(self, tag: int) -> None:
+        """Select the address-space tag on all three cache levels."""
+        self._pml4.set_tag(tag)
+        self._pdpt.set_tag(tag)
+        self._pd.set_tag(tag)
+
+    def flush_tag(self, tag: int) -> int:
+        """Drop every entry carrying ``tag`` (ASID recycling)."""
+        return (
+            self._pml4.flush_tag(tag)
+            + self._pdpt.flush_tag(tag)
+            + self._pd.flush_tag(tag)
+        )
+
     @property
     def hit_rate(self) -> float:
         return self.hits / self.probes if self.probes else 0.0

@@ -9,17 +9,49 @@ entries the usual [12, 12+N)); the caller owns that mapping.
 LRU is implemented with insertion-ordered dicts: a hit reinserts the
 key, eviction pops the oldest.  This is exact LRU, matching the
 reference model used by the property tests.
+
+Both arrays carry an ASID/PCID-style *tag register* for multi-tenant
+sharing: ``set_tag`` selects the address-space tag of the currently
+running tenant, and every ``lookup``/``insert``/``invalidate`` packs
+that tag into the entry key's high bits (above :data:`TAG_SHIFT`).
+Entries of different tenants therefore never alias — a lookup only hits
+same-tag entries — but they do compete for the same sets and ways,
+which is exactly the shared-TLB contention the fleet model measures.
+Tag 0 (the default) leaves keys bit-identical to the untagged
+single-process behaviour, so every existing caller is unaffected.
 """
 
 from __future__ import annotations
 
 from repro.params import is_pow2
 
+#: Bit position of the address-space tag inside entry keys.  Scheme key
+#: packings use at most ``vpn << 2 | kind`` with 48-bit virtual
+#: addresses (36-bit VPNs), so bits [46, 58) are free for the tag.
+TAG_SHIFT = 46
+
+#: Width of the tag field: x86 PCIDs are 12 bits, and 46 + 12 = 58 keeps
+#: tagged keys comfortably inside a non-negative int64.
+TAG_BITS = 12
+
+#: Largest representable tag (tags above this must be recycled).
+MAX_TAG = (1 << TAG_BITS) - 1
+
+#: Mask selecting the untagged part of an entry key.
+KEY_MASK = (1 << TAG_SHIFT) - 1
+
+
+def _check_tag(tag: int) -> int:
+    if not 0 <= tag <= MAX_TAG:
+        raise ValueError(f"tag must be in [0, {MAX_TAG}], got {tag}")
+    return tag
+
 
 class SetAssociativeTLB:
     """A set-associative array of ``entries`` slots, ``ways`` per set."""
 
-    __slots__ = ("entries", "ways", "sets", "index_mask", "_sets")
+    __slots__ = ("entries", "ways", "sets", "index_mask", "_sets",
+                 "tag", "_tag_base")
 
     def __init__(self, entries: int, ways: int) -> None:
         if entries <= 0 or ways <= 0 or entries % ways:
@@ -32,10 +64,41 @@ class SetAssociativeTLB:
         self.sets = sets
         self.index_mask = sets - 1
         self._sets: list[dict[int, object]] = [dict() for _ in range(sets)]
+        self.tag = 0
+        self._tag_base = 0
+
+    def set_tag(self, tag: int) -> None:
+        """Select the address-space tag for subsequent accesses."""
+        self.tag = _check_tag(tag)
+        self._tag_base = tag << TAG_SHIFT
+
+    def flush_tag(self, tag: int) -> int:
+        """Drop every entry carrying ``tag``; return the count dropped.
+
+        The ASID-recycling shootdown: when a tag value is reassigned to
+        a new tenant, the previous owner's entries must not be visible
+        to it.
+        """
+        _check_tag(tag)
+        dropped = 0
+        for bucket in self._sets:
+            stale = [key for key in bucket if key >> TAG_SHIFT == tag]
+            for key in stale:
+                del bucket[key]
+            dropped += len(stale)
+        return dropped
+
+    def tag_occupancy(self, tag: int) -> int:
+        """Resident entries carrying ``tag`` (fleet-test observability)."""
+        return sum(
+            1 for bucket in self._sets for key in bucket
+            if key >> TAG_SHIFT == tag
+        )
 
     def lookup(self, index: int, key: int) -> object | None:
         """Return the value stored under ``key`` (touching LRU) or None."""
         bucket = self._sets[index & self.index_mask]
+        key |= self._tag_base
         value = bucket.get(key)
         if value is not None:
             del bucket[key]
@@ -45,6 +108,7 @@ class SetAssociativeTLB:
     def insert(self, index: int, key: int, value: object) -> None:
         """Insert/refresh an entry, evicting LRU on conflict."""
         bucket = self._sets[index & self.index_mask]
+        key |= self._tag_base
         if key in bucket:
             del bucket[key]
         elif len(bucket) >= self.ways:
@@ -53,7 +117,7 @@ class SetAssociativeTLB:
 
     def invalidate(self, index: int, key: int) -> bool:
         bucket = self._sets[index & self.index_mask]
-        return bucket.pop(key, None) is not None
+        return bucket.pop(key | self._tag_base, None) is not None
 
     def flush(self) -> None:
         for bucket in self._sets:
@@ -85,13 +149,29 @@ class FullyAssociativeTLB:
     batched page-walk-cache model relies on this).
     """
 
-    __slots__ = ("capacity", "_sets")
+    __slots__ = ("capacity", "_sets", "tag", "_tag_base")
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._sets: list[dict[int, object]] = [dict()]
+        self.tag = 0
+        self._tag_base = 0
+
+    def set_tag(self, tag: int) -> None:
+        """Select the address-space tag for subsequent accesses."""
+        self.tag = _check_tag(tag)
+        self._tag_base = tag << TAG_SHIFT
+
+    def flush_tag(self, tag: int) -> int:
+        """Drop every entry carrying ``tag``; return the count dropped."""
+        _check_tag(tag)
+        entries = self._entries
+        stale = [key for key in entries if key >> TAG_SHIFT == tag]
+        for key in stale:
+            del entries[key]
+        return len(stale)
 
     @property
     def _entries(self) -> dict[int, object]:
@@ -106,6 +186,7 @@ class FullyAssociativeTLB:
         return 0
 
     def lookup(self, key: int) -> object | None:
+        key |= self._tag_base
         value = self._entries.get(key)
         if value is not None:
             del self._entries[key]
@@ -113,6 +194,7 @@ class FullyAssociativeTLB:
         return value
 
     def insert(self, key: int, value: object) -> None:
+        key |= self._tag_base
         if key in self._entries:
             del self._entries[key]
         elif len(self._entries) >= self.capacity:
@@ -134,4 +216,4 @@ class FullyAssociativeTLB:
         return len(self._entries)
 
     def __contains__(self, key: int) -> bool:
-        return key in self._entries
+        return (key | self._tag_base) in self._entries

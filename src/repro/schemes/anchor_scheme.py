@@ -50,6 +50,10 @@ class AnchorScheme(TranslationScheme):
 
     name = "anchor"
     supports_reselection = True
+    #: The L1 passes resolve through :func:`simulate_block` and the
+    #: exact L2 replay below ORs the array's tag base into every raw
+    #: key it builds, so the fast path is correct under ASID tagging.
+    tag_safe_block = True
 
     def __init__(
         self,
@@ -191,6 +195,11 @@ class AnchorScheme(TranslationScheme):
         imask = self.l2.array.index_mask
         ways = self.l2.array.ways
         buckets = self.l2.array._sets
+        # The replay builds raw keys, bypassing the array's tag packing;
+        # OR the active tenant's tag base in explicitly (0 when untagged)
+        # so tagged entries of other tenants never alias but still
+        # contend for ways.
+        tbase = self.l2.array._tag_base
         mk = heads[miss]
         avpn = mk >> dlog << dlog
         cont, _ = lookup_sorted(an_keys, an_vals, avpn)
@@ -214,7 +223,7 @@ class AnchorScheme(TranslationScheme):
         for vpn, huge_row, hidx, hb, av, aidx, cont_d, ap, pfn in rows:
             if huge_row:
                 bucket = buckets[hidx]
-                key = (vpn >> _HUGE_SHIFT << 2) | KIND_HUGE
+                key = (vpn >> _HUGE_SHIFT << 2) | KIND_HUGE | tbase
                 value = bucket.get(key)
                 if value is not None:
                     del bucket[key]
@@ -229,7 +238,7 @@ class AnchorScheme(TranslationScheme):
                     bucket[key] = hb
                 continue
             bucket = buckets[vpn & imask]
-            skey = vpn << 2  # | KIND_SMALL
+            skey = (vpn << 2) | tbase  # | KIND_SMALL
             value = bucket.get(skey)
             if value is not None:
                 del bucket[skey]
@@ -237,7 +246,7 @@ class AnchorScheme(TranslationScheme):
                 l2_small += 1
                 continue
             abucket = buckets[aidx]
-            akey = (av << 2) | KIND_ANCHOR
+            akey = (av << 2) | KIND_ANCHOR | tbase
             entry = abucket.get(akey)
             if entry is not None:
                 # The probe touches LRU even when contiguity misses.

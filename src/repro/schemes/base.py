@@ -63,6 +63,17 @@ class TranslationScheme(abc.ABC):
     #: anchor schemes override this with a property.
     distance: int | None = None
 
+    #: Whether :meth:`access_block` stays correct when the TLB arrays
+    #: carry a nonzero address-space tag (multi-tenant sharing).  The
+    #: scalar loop below is tag-safe by construction — every state touch
+    #: goes through the arrays' ``lookup``/``insert``, which pack the
+    #: tag themselves — but a vectorised override that writes raw keys
+    #: into the arrays' buckets must pack the tag explicitly and declare
+    #: its verdict here.  Every class that overrides ``access_block``
+    #: must re-declare this attribute in its own body (enforced by the
+    #: ``scheme-contract`` check rule).
+    tag_safe_block: bool = True
+
     def __init__(
         self,
         mapping: MemoryMapping,
@@ -139,6 +150,26 @@ class TranslationScheme(abc.ABC):
         self.l1.flush()
         if self.pwc is not None:
             self.pwc.flush()
+
+    def set_asid(self, asid: int) -> None:
+        """Select this tenant's address-space tag on every TLB structure.
+
+        Called by the tenant scheduler on every switch-in (the PCID
+        write that rides along with CR3).  Requires a tag-aware block
+        fast path (:attr:`tag_safe_block`): schemes that keep raw keys
+        in their arrays cannot share them between tenants.
+        """
+        if not self.tag_safe_block:
+            raise ValueError(
+                f"scheme {self.name!r} does not support ASID tagging"
+            )
+        self.l1.set_tag(asid)
+        if self.pwc is not None:
+            self.pwc.set_tag(asid)
+        for attr in ("l2", "l2_giga"):
+            tlb = getattr(self, attr, None)
+            if tlb is not None:
+                tlb.set_tag(asid)
 
     def _walk_cycles(self, vpn: int, huge: bool = False) -> int:
         """Cycles charged for a page walk.

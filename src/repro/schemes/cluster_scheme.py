@@ -43,6 +43,10 @@ class ClusterScheme(TranslationScheme):
     """Partitioned regular + cluster-8 L2 (optionally with 2 MiB pages)."""
 
     name = "cluster"
+    #: The block fast path writes raw (untagged) keys into its
+    #: arrays' buckets; sharing them between tagged tenants would
+    #: alias entries across address spaces.
+    tag_safe_block = False
 
     def __init__(
         self,

@@ -28,6 +28,10 @@ class ColtScheme(TranslationScheme):
     """Unified L2 of coalesced (up to 8-page) entries."""
 
     name = "colt"
+    #: The block fast path writes raw (untagged) keys into its
+    #: arrays' buckets; sharing them between tagged tenants would
+    #: alias entries across address spaces.
+    tag_safe_block = False
 
     def __init__(
         self,

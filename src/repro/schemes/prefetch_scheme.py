@@ -67,6 +67,10 @@ class PrefetchScheme(TranslationScheme):
     """4 KiB baseline + distance prefetching into the L2."""
 
     name = "prefetch"
+    #: The block fast path writes raw (untagged) keys into its
+    #: arrays' buckets; sharing them between tagged tenants would
+    #: alias entries across address spaces.
+    tag_safe_block = False
 
     def __init__(
         self,

@@ -41,6 +41,10 @@ class RegionAnchorScheme(TranslationScheme):
     """Hybrid coalescing with per-region anchor distances."""
 
     name = "anchor-region"
+    #: The block fast path writes raw (untagged) keys into its
+    #: arrays' buckets; sharing them between tagged tenants would
+    #: alias entries across address spaces.
+    tag_safe_block = False
 
     def __init__(
         self,

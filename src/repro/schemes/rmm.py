@@ -32,6 +32,10 @@ class RMMScheme(TranslationScheme):
     """Baseline L2 (with THP) + 32-entry range TLB."""
 
     name = "rmm"
+    #: The block fast path writes raw (untagged) keys into its
+    #: arrays' buckets; sharing them between tagged tenants would
+    #: alias entries across address spaces.
+    tag_safe_block = False
 
     def __init__(
         self,

@@ -1,0 +1,26 @@
+"""Multi-tenant simulation service: one warm process shared by many
+clients, speaking newline-delimited JSON over TCP.
+
+* :class:`repro.service.server.SimService` — asyncio front-end over the
+  :class:`~repro.sim.runner.Orchestrator` building blocks: a warm
+  process pool, content-addressed result/trace stores, single-flight
+  request dedup, bounded admission with backpressure, and graceful
+  drain.
+* :mod:`repro.service.client` — the blocking client used by
+  ``anchor-tlb submit`` and the tests.
+
+Entry points: ``anchor-tlb serve`` / ``anchor-tlb submit``.
+"""
+
+from repro.service.client import drain, status, submit, submit_and_wait
+from repro.service.server import ServiceThread, SimService, serve_main
+
+__all__ = [
+    "SimService",
+    "ServiceThread",
+    "serve_main",
+    "submit",
+    "submit_and_wait",
+    "status",
+    "drain",
+]

@@ -3,8 +3,22 @@
 from repro.sim.stats import TranslationStats
 from repro.sim.trace import Trace
 from repro.sim.workloads import WORKLOADS, Workload, workload_names
-from repro.sim.engine import SimulationResult, simulate
+from repro.sim.engine import SimulationResult, run_trace, simulate
+from repro.sim.api import (
+    SimReply,
+    SimRequest,
+    TenancyConfig,
+    execute_request,
+    simulate_request,
+)
 from repro.sim.multiprog import ProcessRun, simulate_multiprogrammed
+from repro.sim.tenants import (
+    FleetResult,
+    TenantFleet,
+    TenantSpec,
+    run_timeshared,
+    simulate_fleet,
+)
 from repro.sim.runner import (
     JobSpec,
     Orchestrator,
@@ -20,9 +34,20 @@ __all__ = [
     "Workload",
     "workload_names",
     "SimulationResult",
+    "run_trace",
     "simulate",
+    "SimReply",
+    "SimRequest",
+    "TenancyConfig",
+    "execute_request",
+    "simulate_request",
     "ProcessRun",
     "simulate_multiprogrammed",
+    "FleetResult",
+    "TenantFleet",
+    "TenantSpec",
+    "run_timeshared",
+    "simulate_fleet",
     "JobSpec",
     "Orchestrator",
     "ResultStore",

@@ -43,6 +43,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.hw.tlb import KEY_MASK, TAG_SHIFT
+
 __all__ = [
     "SortedMembership",
     "collapse_runs",
@@ -209,6 +211,15 @@ def simulate_block(tlb, set_indices: np.ndarray, keys: np.ndarray, value_of):
     ``insert(set, key, value_of(key))`` on a miss, for every position in
     order.  Mutates ``tlb`` to its final state and returns a boolean
     hit array.
+
+    When the array carries a nonzero address-space tag (``tlb.tag``),
+    the incoming keys are packed with that tag exactly as the scalar
+    ``lookup``/``insert`` methods pack theirs, so tagged lookups stay
+    vectorised: other tenants' resident entries never match (their keys
+    differ in the high bits) but still occupy ways and age through LRU —
+    the shared-TLB contention.  Foreign-tag entries surviving into the
+    final state keep their *resident* values (captured before the block)
+    because ``value_of`` can only resolve the current tenant's keys.
     """
     n = keys.shape[0]
     hits = np.zeros(n, dtype=bool)
@@ -217,16 +228,22 @@ def simulate_block(tlb, set_indices: np.ndarray, keys: np.ndarray, value_of):
         return hits
     ways = tlb.ways
     mask = tlb.index_mask
+    tag = getattr(tlb, "tag", 0)
+    if tag:
+        keys = keys | np.int64(tag << TAG_SHIFT)
 
     # Synthetic prefix: replaying the resident entries (LRU -> MRU)
     # into an empty array reproduces the current state exactly, so the
     # windowed logic below needs no special initial-state handling.
     pre_keys: list[int] = []
     pre_sets: list[int] = []
+    pre_values: dict[int, object] = {}
     for index, bucket in enumerate(buckets):
         if bucket:
             pre_keys.extend(bucket)
             pre_sets.extend([index] * len(bucket))
+            if tag:
+                pre_values.update(bucket)
     n0 = len(pre_keys)
     if n0:
         all_keys = np.concatenate(
@@ -355,6 +372,13 @@ def simulate_block(tlb, set_indices: np.ndarray, keys: np.ndarray, value_of):
         recent = reversed_tail[first_at[:ways]]  # MRU first
         bucket = buckets[int(g_sets[s0])]
         bucket.clear()
-        for key in recent[::-1].tolist():
-            bucket[key] = value_of(key)
+        if tag:
+            for key in recent[::-1].tolist():
+                if key >> TAG_SHIFT == tag:
+                    bucket[key] = value_of(key & KEY_MASK)
+                else:
+                    bucket[key] = pre_values[key]
+        else:
+            for key in recent[::-1].tolist():
+                bucket[key] = value_of(key)
     return hits

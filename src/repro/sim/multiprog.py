@@ -17,11 +17,18 @@ hardware models are supported:
 Comparing the two quantifies how much of each scheme's benefit survives
 realistic time slicing: coverage schemes (anchor, THP) refill much
 faster after a flush, because one entry re-covers a whole window.
+
+The scheduler itself has moved to :mod:`repro.sim.tenants`, which adds
+the third model — a genuinely *shared* tagged hierarchy with ASID
+recycling and per-tenant distance registers — and scales to fleets of
+thousands of tenants.  This module keeps the :class:`ProcessRun` /
+:class:`MultiProgramResult` data types and a deprecated shim.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from warnings import warn
 
 from repro.sim.stats import TranslationStats
 from repro.sim.trace import Trace
@@ -48,6 +55,10 @@ class MultiProgramResult:
     stats: dict[str, TranslationStats] = field(default_factory=dict)
     switches: int = 0
     flushes: int = 0
+    #: Per-process scheduling slices actually executed (non-empty only).
+    slices: dict[str, int] = field(default_factory=dict)
+    #: Per-process references actually executed.
+    executed: dict[str, int] = field(default_factory=dict)
 
     def total_walks(self) -> int:
         return sum(s.walks for s in self.stats.values())
@@ -58,35 +69,20 @@ def simulate_multiprogrammed(
     quantum: int = 5_000,
     flush_on_switch: bool = True,
 ) -> MultiProgramResult:
-    """Round-robin the processes in ``quantum``-reference time slices."""
-    if quantum <= 0:
-        raise ValueError("quantum must be positive")
-    if not runs:
-        raise ValueError("no processes to run")
-    names = [r.name for r in runs]
-    if len(set(names)) != len(names):
-        raise ValueError("process names must be unique")
+    """Deprecated alias for :func:`repro.sim.tenants.run_timeshared`.
 
-    result = MultiProgramResult()
-    active = list(runs)
-    previous: ProcessRun | None = None
-    while active:
-        for run in list(active):
-            if previous is not None and previous is not run:
-                result.switches += 1
-                if flush_on_switch:
-                    # The incoming process finds the shared TLBs holding
-                    # only the other process's (now flushed) entries.
-                    run.scheme.flush()
-                    result.flushes += 1
-            end = min(run.position + quantum, len(run.trace))
-            run.scheme.sync_mapping()
-            run.scheme.access_block(run.trace.vpns[run.position:end])
-            run.position = end
-            previous = run
-            if run.finished:
-                active.remove(run)
-    for run in runs:
-        run.scheme.stats.check_conservation()
-        result.stats[run.name] = run.scheme.stats
-    return result
+    The scheduler now lives in :mod:`repro.sim.tenants`, which also
+    fixes this function's historical accounting drift: a process that
+    exhausted its trace mid-round used to keep receiving (empty) slices
+    that still charged switches and flushes to its neighbours.
+    """
+    warn(
+        "simulate_multiprogrammed() is deprecated; use "
+        "repro.sim.tenants.run_timeshared() (or run_schedule() / "
+        "simulate_fleet() for tagged multi-tenant runs)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.sim.tenants import run_timeshared
+
+    return run_timeshared(runs, quantum=quantum, flush_on_switch=flush_on_switch)

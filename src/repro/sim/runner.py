@@ -33,7 +33,6 @@ identity, scheduling order, or wall-clock time.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
@@ -44,12 +43,24 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
+from warnings import warn
 
 import numpy as np
 
 from repro.errors import CellFailedError, OrchestrationError
-from repro.params import DEFAULT_MACHINE, MachineConfig
-from repro.sim.engine import DEFAULT_EPOCH_REFERENCES, SimulationResult, simulate
+from repro.sim.api import (
+    CACHE_FORMAT,
+    DISTANCE_SELECT,
+    STATIC_IDEAL,
+    SimReply,
+    SimRequest,
+    TenancyConfig,
+    digest_payload,
+    execute_request,
+    machine_digest,
+    simulate_request,
+)
+from repro.sim.engine import SimulationResult, run_trace
 from repro.sim.stats import canonical_json
 from repro.sim.trace import Trace
 from repro.sim.trace_store import TraceStore
@@ -62,6 +73,11 @@ from repro.vmos.scenarios import build_mapping
 
 __all__ = [
     "STATIC_IDEAL",
+    "SimRequest",
+    "TenancyConfig",
+    "SimReply",
+    "execute_request",
+    "simulate_request",
     "JobSpec",
     "ResultStore",
     "TraceStore",
@@ -80,36 +96,12 @@ __all__ = [
     "OrchestrationError",
 ]
 
-#: Pseudo-scheme resolved by the exhaustive fixed-distance search
-#: (:func:`repro.sim.sweep.static_ideal`) instead of ``make_scheme``.
-STATIC_IDEAL = "anchor-ideal"
-
-#: Scheme slot used by ``kind="distances"`` specs (Table 6 needs the
-#: Algorithm 1 selection per mapping, not a simulation).
-DISTANCE_SELECT = "-"
-
-#: Bump to invalidate every existing cache entry on a format change.
-#: 2: trace generation moved to the chunk-invariant streaming pipeline
-#: (per-component child RNG streams), which changed trace bytes for
-#: mixture/zipf/gaussian workloads.
-CACHE_FORMAT = 2
-
 ProgressFn = Callable[[str], None]
 
 
 # ---------------------------------------------------------------------------
 # Digests
 # ---------------------------------------------------------------------------
-
-
-def digest_payload(payload: object) -> str:
-    """SHA-256 of the canonical JSON of ``payload``."""
-    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
-
-
-def machine_digest(machine: MachineConfig) -> str:
-    """Content digest of a hardware configuration."""
-    return digest_payload(dataclasses.asdict(machine))
 
 
 def mapping_digest(mapping: MemoryMapping) -> str:
@@ -140,48 +132,21 @@ def trace_digest(trace: Trace) -> str:
 
 
 @dataclass(frozen=True)
-class JobSpec:
-    """One declarative cell of the experiment matrix.
+class JobSpec(SimRequest):
+    """Deprecated alias of :class:`repro.sim.api.SimRequest`.
 
-    The spec carries *everything* that determines the result; execution
-    knobs (worker count, timeouts, cache location) deliberately stay
-    out so that the content key is identical however the job runs.
+    Same fields, same canonical description, same content keys — any
+    cache entry minted under a ``JobSpec`` resolves for the equivalent
+    ``SimRequest`` and vice versa.  Construct ``SimRequest`` directly;
+    this name only survives for external callers.
     """
 
-    workload: str
-    scenario: str
-    scheme: str
-    references: int
-    seed: int | None = None
-    epoch_references: int | None = DEFAULT_EPOCH_REFERENCES
-    ideal_subsample: int = 1
-    machine: MachineConfig = DEFAULT_MACHINE
-    kind: str = "simulate"          #: "simulate" or "distances"
-
-    def label(self) -> str:
-        """Short human-readable name for progress lines and the ledger."""
-        if self.kind == "distances":
-            return f"{self.workload}/{self.scenario}/distances"
-        return f"{self.workload}/{self.scenario}/{self.scheme}"
-
-    def describe(self) -> dict:
-        """The canonical content of this spec (what ``key`` hashes)."""
-        return {
-            "format": CACHE_FORMAT,
-            "kind": self.kind,
-            "workload": self.workload,
-            "scenario": self.scenario,
-            "scheme": self.scheme,
-            "references": self.references,
-            "seed": self.seed,
-            "epoch_references": self.epoch_references,
-            "ideal_subsample": self.ideal_subsample,
-            "machine": machine_digest(self.machine),
-        }
-
-    def key(self) -> str:
-        """The content-addressed cache key of this spec."""
-        return digest_payload(self.describe())
+    def __post_init__(self) -> None:
+        warn(
+            "JobSpec is deprecated; construct repro.sim.api.SimRequest",
+            DeprecationWarning,
+            stacklevel=2,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -285,7 +250,7 @@ def configure_trace_store(root: str | Path | None) -> TraceStore | None:
     return _WORKER_TRACE_STORE
 
 
-def _mapping_for(spec: JobSpec) -> MemoryMapping:
+def _mapping_for(spec: SimRequest) -> MemoryMapping:
     key = (spec.workload, spec.scenario, spec.seed)
     entry = _WORKER_MAPPINGS.get(key)
     if entry is None:
@@ -301,7 +266,7 @@ def _mapping_for(spec: JobSpec) -> MemoryMapping:
     return mapping
 
 
-def _trace_for(spec: JobSpec) -> Trace:
+def _trace_for(spec: SimRequest) -> Trace:
     store = _WORKER_TRACE_STORE
     if store is not None:
         # The orchestrator pre-generated every distinct trace; this is a
@@ -333,9 +298,9 @@ def _trace_for(spec: JobSpec) -> Trace:
 
 
 def simulate_spec(
-    spec: JobSpec, mapping: MemoryMapping, trace: Trace
+    spec: SimRequest, mapping: MemoryMapping, trace: Trace
 ) -> SimulationResult:
-    """Run one ``kind="simulate"`` spec on prebuilt inputs."""
+    """Run one ``kind="simulate"`` request on prebuilt inputs."""
     # Deferred: the schemes package imports repro.sim.stats, so a
     # top-level import here would be circular via repro.sim.__init__.
     from repro.schemes import make_scheme
@@ -346,19 +311,21 @@ def simulate_spec(
             mapping, trace, spec.machine, subsample=spec.ideal_subsample
         )
     scheme = make_scheme(spec.scheme, mapping, spec.machine)
-    return simulate(scheme, trace, epoch_references=spec.epoch_references)
+    return run_trace(
+        scheme, trace,
+        epoch_references=spec.epoch_references,
+        engine=spec.engine,
+    )
 
 
-def execute_job(spec: JobSpec) -> dict:
-    """Compute one spec's JSON payload (the pool's entry point)."""
-    if spec.kind == "distances":
-        mapping = _mapping_for(spec)
-        distance = select_distance(contiguity_histogram(mapping))
-        return {"distance": int(distance)}
-    if spec.kind != "simulate":
-        raise OrchestrationError(f"unknown job kind {spec.kind!r}")
-    result = simulate_spec(spec, _mapping_for(spec), _trace_for(spec))
-    return result.to_dict()
+def execute_job(spec: SimRequest) -> dict:
+    """Deprecated alias of :func:`repro.sim.api.execute_request`."""
+    warn(
+        "execute_job() is deprecated; use repro.sim.api.execute_request()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_request(spec)
 
 
 # ---------------------------------------------------------------------------
@@ -495,7 +462,7 @@ class Orchestrator:
         trace_store: TraceStore | str | Path | None = None,
         timeout: float | None = None,
         retries: int = 1,
-        job_fn: Callable[[JobSpec], dict] = execute_job,
+        job_fn: Callable[[SimRequest], dict] = execute_request,
         progress: ProgressFn | None = None,
         mp_context=None,
     ) -> None:
@@ -527,12 +494,12 @@ class Orchestrator:
     # ------------------------------------------------------------------
 
     def run(
-        self, specs: Sequence[JobSpec]
+        self, specs: Sequence[SimRequest]
     ) -> tuple[dict[str, dict], RunSummary]:
         """Execute ``specs``; return payloads by key plus the summary."""
         global _WORKER_TRACE_STORE
         started = time.perf_counter()
-        ordered: list[JobSpec] = []
+        ordered: list[SimRequest] = []
         seen: set[str] = set()
         for spec in specs:
             key = spec.key()
@@ -542,7 +509,7 @@ class Orchestrator:
 
         summary = RunSummary(total=len(ordered))
         results: dict[str, dict] = {}
-        pending: list[JobSpec] = []
+        pending: list[SimRequest] = []
         for spec in ordered:
             payload = self.store.get(spec.key()) if self.store else None
             if payload is not None:
@@ -571,7 +538,7 @@ class Orchestrator:
         return results, summary
 
     def _prepare_traces(
-        self, pending: Sequence[JobSpec], summary: RunSummary
+        self, pending: Sequence[SimRequest], summary: RunSummary
     ) -> None:
         """Generate each distinct pending trace into the shared store.
 
@@ -622,7 +589,7 @@ class Orchestrator:
 
     def _record_success(
         self,
-        spec: JobSpec,
+        spec: SimRequest,
         payload: dict,
         results: dict[str, dict],
         summary: RunSummary,
@@ -639,11 +606,11 @@ class Orchestrator:
 
     def _record_attempt_failure(
         self,
-        spec: JobSpec,
+        spec: SimRequest,
         attempt: int,
         error: str,
         summary: RunSummary,
-        requeue: Callable[[JobSpec, int], None],
+        requeue: Callable[[SimRequest, int], None],
     ) -> None:
         """Charge one failed attempt; requeue or write the ledger."""
         if attempt <= self.retries:
@@ -662,11 +629,11 @@ class Orchestrator:
 
     def _run_serial(
         self,
-        pending: list[JobSpec],
+        pending: list[SimRequest],
         results: dict[str, dict],
         summary: RunSummary,
     ) -> None:
-        queue: deque[tuple[JobSpec, int]] = deque((s, 0) for s in pending)
+        queue: deque[tuple[SimRequest, int]] = deque((s, 0) for s in pending)
         while queue:
             spec, attempts = queue.popleft()
             job_started = time.perf_counter()
@@ -714,18 +681,18 @@ class Orchestrator:
 
     def _run_pool(
         self,
-        pending: list[JobSpec],
+        pending: list[SimRequest],
         results: dict[str, dict],
         summary: RunSummary,
     ) -> None:
-        queue: deque[tuple[JobSpec, int]] = deque((s, 0) for s in pending)
+        queue: deque[tuple[SimRequest, int]] = deque((s, 0) for s in pending)
         executor = self._new_executor()
         # future -> (spec, prior attempts, submit time).  At most
         # ``workers`` futures are in flight, so submit time approximates
         # start time and per-job deadlines stay meaningful.
-        inflight: dict[Future, tuple[JobSpec, int, float]] = {}
+        inflight: dict[Future, tuple[SimRequest, int, float]] = {}
 
-        def requeue(spec: JobSpec, attempts: int) -> None:
+        def requeue(spec: SimRequest, attempts: int) -> None:
             queue.append((spec, attempts))
 
         try:

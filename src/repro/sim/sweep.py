@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.params import ANCHOR_DISTANCES, DEFAULT_MACHINE, MachineConfig
 from repro.schemes.anchor_scheme import AnchorScheme
-from repro.sim.engine import SimulationResult, simulate
+from repro.sim.engine import SimulationResult, run_trace
 from repro.sim.trace import Trace
 from repro.vmos.mapping import MemoryMapping
 
@@ -58,7 +58,7 @@ def distance_sweep(
     points = []
     for distance in sorted(candidates):
         scheme = AnchorScheme(mapping, config, distance=distance)
-        result = simulate(scheme, probe, epoch_references=None)
+        result = run_trace(scheme, probe, epoch_references=None)
         points.append(SweepPoint(distance, result.stats.walks, result))
     return points
 
@@ -80,7 +80,7 @@ def static_ideal(
     best = min(points, key=lambda p: p.walks)
     if subsample > 1:
         scheme = AnchorScheme(mapping, config, distance=best.distance)
-        result = simulate(scheme, trace, epoch_references=None)
+        result = run_trace(scheme, trace, epoch_references=None)
     else:
         result = best.result
     result.scheme = "anchor-ideal"

@@ -1,0 +1,631 @@
+"""Fleet-scale multi-tenant time-sharing (datacenter consolidation).
+
+:mod:`repro.sim.multiprog` models a handful of processes sharing one
+core.  This module scales that model to *thousands* of tenants — the
+consolidation regime where the paper's per-process anchor-distance
+register (§3.1) earns its keep — without ever holding thousands of
+traces or TLB replicas in memory.  Three scheduling policies bracket
+the design space:
+
+* ``"flush"`` — classic x86 without PCID: every switch-in starts from
+  cold TLBs (the paper's native-kernel assumption in §3.3);
+* ``"partitioned"`` — an idealised tagged TLB with per-tenant state:
+  entries survive switches and tenants never contend for ways;
+* ``"tagged"`` — the realistic middle: all tenants share one physical
+  TLB hierarchy whose entries carry an ASID/PCID tag
+  (:data:`repro.hw.tlb.TAG_SHIFT`).  A tenant's entries survive its
+  time slice, but its neighbours' resident entries contend for the
+  same sets and ways, and the shared anchor-distance register is
+  saved/restored per tenant through a
+  :class:`repro.vmos.distance.DistanceRegisterFile` — the §3.1
+  context-switch protocol, without flushes.
+
+Memory stays bounded by *wave* scheduling: at most ``active_pool``
+tenants are instantiated at a time, each reading its trace through a
+one-chunk cursor, so peak RSS is O(active_pool x (chunk + footprint)) —
+never O(tenants x trace).  Shared hardware (and the ``previous``
+scheduled tenant, for switch accounting) persists across waves, so
+residual tagged entries from retired tenants keep polluting the arrays
+exactly as dead address spaces do on real silicon, until their ASID is
+recycled and shot down.
+
+Anchor schemes under ``"tagged"`` do **not** re-run distance selection
+mid-run: each tenant keeps the distance picked from its mapping at
+admission, which is precisely the per-process diversity the hybrid
+design exists to serve.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.params import DEFAULT_MACHINE, SCENARIO_ORDER, MachineConfig
+from repro.hw.anchor_tlb import AnchorL2TLB
+from repro.hw.l1 import L1TLB
+from repro.hw.tlb import TAG_BITS, SetAssociativeTLB
+from repro.sim.multiprog import MultiProgramResult, ProcessRun
+from repro.sim.stats import COUNTER_FIELDS, TranslationStats
+from repro.util.proc import peak_rss_bytes
+from repro.util.rng import spawn_rng
+from repro.vmos.distance import DistanceRegisterFile
+
+#: Recognised context-switch policies (see module docstring).
+POLICIES = ("flush", "partitioned", "tagged")
+
+
+class _Cursor:
+    """Bounded-memory slice server over a stream of trace chunks.
+
+    Wraps an iterator of int64 VPN arrays (typically
+    ``TraceSource.iter_chunks``) and serves arbitrary slice lengths out
+    of a one-chunk buffer, so short storm slices never force the trace
+    to materialize and peak memory stays O(chunk) per tenant.
+    """
+
+    __slots__ = ("_chunks", "_buffer", "_offset")
+
+    def __init__(self, chunks: Iterator[np.ndarray]) -> None:
+        self._chunks = chunks
+        self._buffer = np.empty(0, dtype=np.int64)
+        self._offset = 0
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` references (fewer at end-of-stream)."""
+        parts: list[np.ndarray] = []
+        needed = n
+        while needed > 0:
+            available = self._buffer.shape[0] - self._offset
+            if available == 0:
+                nxt = next(self._chunks, None)
+                if nxt is None:
+                    break
+                self._buffer = nxt
+                self._offset = 0
+                continue
+            step = min(available, needed)
+            parts.append(self._buffer[self._offset:self._offset + step])
+            self._offset += step
+            needed -= step
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+
+@dataclass
+class TenantRun:
+    """One schedulable tenant: a scheme bound to its reference stream."""
+
+    name: str
+    scheme: Any                   #: a TranslationScheme
+    cursor: _Cursor
+    workload: str = ""
+    scenario: str = ""
+    asid: int = 0
+    executed: int = 0
+    slices: int = 0
+
+
+@dataclass
+class ScheduleCounters:
+    """Mutable scheduling tallies, shared across waves."""
+
+    switches: int = 0
+    flushes: int = 0
+    rounds: int = 0
+    storm_rounds: int = 0
+
+
+def _save_distance(member: TenantRun, registers: DistanceRegisterFile) -> None:
+    l2 = getattr(member.scheme, "l2", None)
+    if isinstance(l2, AnchorL2TLB):
+        registers.save(member.name, l2.distance)
+
+
+def _activate(
+    member: TenantRun, registers: DistanceRegisterFile | None
+) -> None:
+    """Switch-in under the tagged policy: select the ASID and reload
+    the anchor-distance register (§3.1), flushing nothing."""
+    scheme = member.scheme
+    scheme.set_asid(member.asid)
+    if registers is None:
+        return
+    l2 = getattr(scheme, "l2", None)
+    if isinstance(l2, AnchorL2TLB):
+        saved = registers.restore(member.name)
+        if saved is not None:
+            l2.restore_distance(saved)
+
+
+def run_schedule(
+    members: Iterable[TenantRun],
+    *,
+    quantum: int,
+    policy: str = "flush",
+    storm_every: int = 0,
+    storm_quantum: int = 0,
+    counters: ScheduleCounters | None = None,
+    registers: DistanceRegisterFile | None = None,
+    previous: TenantRun | None = None,
+) -> TenantRun | None:
+    """Round-robin ``members`` in ``quantum``-reference time slices.
+
+    A tenant that exhausts its stream is dropped *without* charging a
+    switch, a flush, or a scheduling slot — the old scheduler still
+    executed the empty slice, moved ``previous`` onto the exhausted
+    process, and so silently donated the remainder of the round to it
+    (skewing per-process switch/flush attribution).  Exhaustion is
+    detected by a short slice, so the accounting drift cannot recur.
+
+    When ``storm_every`` is set, every ``storm_every``-th scheduling
+    round is a context-switch *storm* sliced at ``storm_quantum``
+    references instead — the knob the flush-vs-tagged sensitivity
+    experiment turns.
+
+    Returns the last tenant that actually ran (feed it back in as
+    ``previous`` to continue the timeline across waves).
+    """
+    if quantum <= 0:
+        raise ValueError("quantum must be positive")
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    if storm_every < 0:
+        raise ValueError("storm_every must be >= 0")
+    if storm_every > 0 and storm_quantum <= 0:
+        raise ValueError("storm_quantum must be positive when storms are on")
+    if counters is None:
+        counters = ScheduleCounters()
+
+    active = list(members)
+    while active:
+        counters.rounds += 1
+        storm = storm_every > 0 and counters.rounds % storm_every == 0
+        if storm:
+            counters.storm_rounds += 1
+        q = storm_quantum if storm else quantum
+        for member in list(active):
+            block = member.cursor.take(q)
+            if block.shape[0] == 0:
+                # Exhausted with nothing left to run: drop silently.
+                active.remove(member)
+                continue
+            if previous is not member:
+                if previous is not None:
+                    counters.switches += 1
+                    if registers is not None:
+                        _save_distance(previous, registers)
+                    if policy == "flush":
+                        # The incoming tenant finds the shared TLBs
+                        # holding only the other tenant's (now flushed)
+                        # entries.
+                        member.scheme.flush()
+                        counters.flushes += 1
+                if policy == "tagged":
+                    _activate(member, registers)
+            member.scheme.sync_mapping()
+            member.scheme.access_block(block)
+            member.executed += int(block.shape[0])
+            member.slices += 1
+            previous = member
+            if block.shape[0] < q:
+                active.remove(member)
+    return previous
+
+
+def run_timeshared(
+    runs: list[ProcessRun],
+    quantum: int = 5_000,
+    flush_on_switch: bool = True,
+) -> MultiProgramResult:
+    """Round-robin ``ProcessRun``s in ``quantum``-reference time slices.
+
+    The replacement for the deprecated
+    :func:`repro.sim.multiprog.simulate_multiprogrammed`, with the
+    empty-slice accounting drift fixed (see :func:`run_schedule`).
+    ``flush_on_switch=False`` keeps each process's per-scheme state
+    (the ideally partitioned tagged TLB of the legacy module).
+    """
+    if quantum <= 0:
+        raise ValueError("quantum must be positive")
+    if not runs:
+        raise ValueError("no processes to run")
+    names = [r.name for r in runs]
+    if len(set(names)) != len(names):
+        raise ValueError("process names must be unique")
+
+    members = []
+    for run in runs:
+        view = run.trace.vpns[run.position:]
+        members.append(
+            TenantRun(name=run.name, scheme=run.scheme, cursor=_Cursor(iter([view])))
+        )
+    counters = ScheduleCounters()
+    run_schedule(
+        members,
+        quantum=quantum,
+        policy="flush" if flush_on_switch else "partitioned",
+        counters=counters,
+    )
+    result = MultiProgramResult(
+        switches=counters.switches, flushes=counters.flushes
+    )
+    for run, member in zip(runs, members):
+        run.position += member.executed
+        run.scheme.stats.check_conservation()
+        result.stats[run.name] = run.scheme.stats
+        result.slices[run.name] = member.slices
+        result.executed[run.name] = member.executed
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fleet generation and simulation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One sampled tenant of a fleet."""
+
+    name: str
+    workload: str
+    scenario: str
+    references: int
+    seed: int
+    mapping_variant: int = 0
+
+
+def _normalise_weights(
+    weights: tuple[float, ...] | None, count: int, label: str
+) -> np.ndarray | None:
+    if weights is None:
+        return None
+    if len(weights) != count:
+        raise ValueError(f"{label} must have {count} entries, got {len(weights)}")
+    array = np.asarray(weights, dtype=np.float64)
+    if np.any(array < 0) or array.sum() <= 0:
+        raise ValueError(f"{label} must be non-negative and sum > 0")
+    return array / array.sum()
+
+
+@dataclass(frozen=True)
+class TenantFleet:
+    """A distribution over the workload x scenario matrix.
+
+    ``tenants()`` lazily yields :class:`TenantSpec`s sampled with the
+    package's keyed sub-stream RNG, so the same ``(seed, size)`` always
+    produces the same fleet regardless of consumption order elsewhere.
+    ``mapping_variants`` bounds the number of distinct mappings built
+    per (workload, scenario) cell: tenants sharing a variant share the
+    *mapping archetype* (and the construction cost), while still
+    receiving independent reference streams via per-tenant trace seeds.
+    """
+
+    size: int
+    workloads: tuple[str, ...]
+    scenarios: tuple[str, ...] = SCENARIO_ORDER
+    references: int = 10_000
+    seed: int | None = None
+    mapping_variants: int = 1
+    workload_weights: tuple[float, ...] | None = None
+    scenario_weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("fleet size must be positive")
+        if not self.workloads:
+            raise ValueError("fleet needs at least one workload")
+        if not self.scenarios:
+            raise ValueError("fleet needs at least one scenario")
+        if self.references <= 0:
+            raise ValueError("references must be positive")
+        if self.mapping_variants <= 0:
+            raise ValueError("mapping_variants must be positive")
+        _normalise_weights(self.workload_weights, len(self.workloads),
+                           "workload_weights")
+        _normalise_weights(self.scenario_weights, len(self.scenarios),
+                           "scenario_weights")
+
+    def tenants(self) -> Iterator[TenantSpec]:
+        """Lazily sample the fleet's tenants (deterministic)."""
+        rng = spawn_rng(self.seed, "fleet", self.size)
+        w_idx = rng.choice(
+            len(self.workloads), size=self.size,
+            p=_normalise_weights(self.workload_weights, len(self.workloads),
+                                 "workload_weights"))
+        s_idx = rng.choice(
+            len(self.scenarios), size=self.size,
+            p=_normalise_weights(self.scenario_weights, len(self.scenarios),
+                                 "scenario_weights"))
+        variants = rng.integers(0, self.mapping_variants, size=self.size)
+        seeds = rng.integers(0, 2**31 - 1, size=self.size)
+        for i in range(self.size):
+            yield TenantSpec(
+                name=f"t{i:06d}",
+                workload=self.workloads[int(w_idx[i])],
+                scenario=self.scenarios[int(s_idx[i])],
+                references=self.references,
+                seed=int(seeds[i]),
+                mapping_variant=int(variants[i]),
+            )
+
+
+class _AsidAllocator:
+    """Cycling 1..(2^bits - 1) ASID namespace with shootdown-on-reuse.
+
+    Mirrors the PCID/ASID generation scheme of real kernels: the tag
+    space is far smaller than the tenant population, so once the
+    namespace wraps, every allocation reuses a tag and must first shoot
+    the previous owner's residual entries out of every shared structure
+    (``flush_tag``).  Tag 0 is reserved for untagged operation.
+    """
+
+    def __init__(self, structures: list[Any], bits: int = TAG_BITS) -> None:
+        if not 1 <= bits <= TAG_BITS:
+            raise ValueError(f"asid bits must be in [1, {TAG_BITS}]")
+        self._limit = (1 << bits) - 1
+        self._next = 1
+        self._cycle = 0
+        self._structures = list(structures)
+        self.recycles = 0
+
+    def allocate(self) -> int:
+        asid = self._next
+        if self._cycle:
+            self.recycles += 1
+            for structure in self._structures:
+                structure.flush_tag(asid)
+        if self._next == self._limit:
+            self._next = 1
+            self._cycle += 1
+        else:
+            self._next += 1
+        return asid
+
+
+@dataclass
+class FleetResult:
+    """Outcome of a fleet run (JSON-safe via :meth:`to_dict`)."""
+
+    tenants: int
+    scheme: str
+    policy: str
+    executed: int
+    stats: TranslationStats
+    switches: int = 0
+    flushes: int = 0
+    rounds: int = 0
+    storm_rounds: int = 0
+    waves: int = 0
+    asid_recycles: int = 0
+    distance_saves: int = 0
+    distance_restores: int = 0
+    groups: dict[str, dict[str, int]] = field(default_factory=dict)
+    registers: dict[str, int] = field(default_factory=dict)
+    per_tenant: list[dict[str, Any]] | None = None
+    peak_rss_bytes: int = 0
+
+    def total_walks(self) -> int:
+        return self.stats.walks
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "tenants": self.tenants,
+            "scheme": self.scheme,
+            "policy": self.policy,
+            "executed": self.executed,
+            "stats": self.stats.to_dict(),
+            "switches": self.switches,
+            "flushes": self.flushes,
+            "rounds": self.rounds,
+            "storm_rounds": self.storm_rounds,
+            "waves": self.waves,
+            "asid_recycles": self.asid_recycles,
+            "distance_saves": self.distance_saves,
+            "distance_restores": self.distance_restores,
+            "groups": {k: dict(v) for k, v in sorted(self.groups.items())},
+            "registers": dict(self.registers),
+            "peak_rss_bytes": self.peak_rss_bytes,
+        }
+        if self.per_tenant is not None:
+            payload["per_tenant"] = self.per_tenant
+        return payload
+
+
+def simulate_fleet(
+    fleet: TenantFleet,
+    scheme: str = "base",
+    machine: MachineConfig = DEFAULT_MACHINE,
+    *,
+    policy: str = "tagged",
+    quantum: int = 2_000,
+    active_pool: int = 8,
+    storm_every: int = 0,
+    storm_quantum: int = 0,
+    asid_bits: int = TAG_BITS,
+    keep_per_tenant: int = 64,
+) -> FleetResult:
+    """Time-share a whole :class:`TenantFleet` on one simulated core.
+
+    Tenants are admitted in *waves* of ``active_pool``: each wave's
+    schemes and cursors live only for its own round-robin, so peak
+    memory is O(active_pool), while the shared tagged hierarchy, the
+    distance-register file, the ASID namespace, and the ``previous``
+    tenant (for switch accounting) persist across the entire fleet.
+    """
+    # Deferred: the scheme registry imports every scheme module, and
+    # workloads/scenarios pull the pattern generators — none of which
+    # this module needs at import time.
+    from repro.schemes.registry import make_scheme
+    from repro.sim.workloads import get_workload
+    from repro.vmos.scenarios import build_mapping
+
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    if active_pool <= 0:
+        raise ValueError("active_pool must be positive")
+
+    counters = ScheduleCounters()
+    registers = DistanceRegisterFile()
+    total = TranslationStats(latency=machine.latency)
+    groups: dict[str, dict[str, int]] = {}
+    keep_details = fleet.size <= keep_per_tenant
+    per_tenant: list[dict[str, Any]] | None = [] if keep_details else None
+
+    mappings: dict[tuple[str, str, int], Any] = {}
+    shared: dict[str, Any] | None = None
+    allocator: _AsidAllocator | None = None
+    chunk = max(quantum, storm_quantum, 1024)
+
+    def mapping_for(spec: TenantSpec) -> Any:
+        key = (spec.workload, spec.scenario, spec.mapping_variant)
+        mapping = mappings.get(key)
+        if mapping is None:
+            mseed = int(
+                spawn_rng(fleet.seed, "fleet-mapping", spec.workload,
+                          spec.scenario, spec.mapping_variant)
+                .integers(0, 2**31 - 1)
+            )
+            mapping = build_mapping(
+                get_workload(spec.workload).vmas(), spec.scenario, seed=mseed
+            )
+            mappings[key] = mapping
+        return mapping
+
+    def bind_shared(s: Any) -> None:
+        """Point this tenant's scheme at the one physical hierarchy."""
+        nonlocal shared, allocator
+        if shared is None:
+            shared = {"l1": L1TLB(machine)}
+            structures: list[Any] = [shared["l1"]]
+            if s.pwc is not None:
+                from repro.hw.pwc import PageWalkCache
+
+                shared["pwc"] = PageWalkCache()
+                structures.append(shared["pwc"])
+            l2 = getattr(s, "l2", None)
+            if isinstance(l2, AnchorL2TLB):
+                # Tenants keep their own AnchorL2TLB wrapper (distance
+                # register view) around one shared physical array.
+                shared["anchor_array"] = SetAssociativeTLB(
+                    machine.l2.entries, machine.l2.ways
+                )
+                structures.append(shared["anchor_array"])
+            elif isinstance(l2, SetAssociativeTLB):
+                shared["l2"] = SetAssociativeTLB(
+                    machine.l2.entries, machine.l2.ways
+                )
+                structures.append(shared["l2"])
+            if isinstance(getattr(s, "l2_giga", None), SetAssociativeTLB):
+                shared["l2_giga"] = SetAssociativeTLB(
+                    machine.l2_1g.entries, machine.l2_1g.ways
+                )
+                structures.append(shared["l2_giga"])
+            allocator = _AsidAllocator(structures, bits=asid_bits)
+        s.l1 = shared["l1"]
+        if s.pwc is not None and "pwc" in shared:
+            s.pwc = shared["pwc"]
+        l2 = getattr(s, "l2", None)
+        if isinstance(l2, AnchorL2TLB):
+            l2.array = shared["anchor_array"]
+        elif "l2" in shared and isinstance(l2, SetAssociativeTLB):
+            s.l2 = shared["l2"]
+        if "l2_giga" in shared and getattr(s, "l2_giga", None) is not None:
+            s.l2_giga = shared["l2_giga"]
+
+    previous: TenantRun | None = None
+    waves = 0
+    executed_total = 0
+    pending = fleet.tenants()
+    while True:
+        batch = list(itertools.islice(pending, active_pool))
+        if not batch:
+            break
+        waves += 1
+        members: list[TenantRun] = []
+        for spec in batch:
+            scheme_obj = make_scheme(scheme, mapping_for(spec), machine)
+            if policy == "tagged" and not scheme_obj.tag_safe_block:
+                raise ValueError(
+                    f"scheme {scheme!r} cannot share tagged TLBs "
+                    "(tag_safe_block is False)"
+                )
+            source = get_workload(spec.workload).trace_source(
+                spec.references, seed=spec.seed
+            )
+            member = TenantRun(
+                name=spec.name,
+                scheme=scheme_obj,
+                cursor=_Cursor(source.iter_chunks(chunk)),
+                workload=spec.workload,
+                scenario=spec.scenario,
+            )
+            if policy == "tagged":
+                bind_shared(scheme_obj)
+                assert allocator is not None
+                member.asid = allocator.allocate()
+                l2 = getattr(scheme_obj, "l2", None)
+                if isinstance(l2, AnchorL2TLB):
+                    registers.save(member.name, l2.distance)
+            members.append(member)
+        previous = run_schedule(
+            members,
+            quantum=quantum,
+            policy=policy,
+            storm_every=storm_every,
+            storm_quantum=storm_quantum,
+            counters=counters,
+            registers=registers,
+            previous=previous,
+        )
+        for member in members:
+            member.scheme.stats.check_conservation()
+            snap = member.scheme.stats.snapshot()
+            total.bulk_update(**snap)
+            group_key = f"{member.workload}/{member.scenario}"
+            group = groups.setdefault(
+                group_key, {"tenants": 0, **{f: 0 for f in COUNTER_FIELDS}}
+            )
+            group["tenants"] += 1
+            for counter in COUNTER_FIELDS:
+                group[counter] += snap[counter]
+            executed_total += member.executed
+            if per_tenant is not None:
+                per_tenant.append({
+                    "name": member.name,
+                    "workload": member.workload,
+                    "scenario": member.scenario,
+                    "asid": member.asid,
+                    "slices": member.slices,
+                    "executed": member.executed,
+                    **snap,
+                })
+        # The wave's schemes die here; only `previous` (one scheme) and
+        # the shared hardware survive into the next wave.
+
+    return FleetResult(
+        tenants=fleet.size,
+        scheme=scheme,
+        policy=policy,
+        executed=executed_total,
+        stats=total,
+        switches=counters.switches,
+        flushes=counters.flushes,
+        rounds=counters.rounds,
+        storm_rounds=counters.storm_rounds,
+        waves=waves,
+        asid_recycles=allocator.recycles if allocator is not None else 0,
+        distance_saves=registers.saves,
+        distance_restores=registers.restores,
+        groups=groups,
+        registers=registers.to_dict() if keep_details else {},
+        per_tenant=per_tenant,
+        peak_rss_bytes=peak_rss_bytes(),
+    )

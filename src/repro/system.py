@@ -25,8 +25,9 @@ from dataclasses import dataclass
 from repro.mem.physmem import PhysicalMemory
 from repro.params import DEFAULT_MACHINE, MachineConfig
 from repro.schemes import make_scheme
-from repro.sim.engine import SimulationResult, simulate
-from repro.sim.multiprog import MultiProgramResult, ProcessRun, simulate_multiprogrammed
+from repro.sim.engine import SimulationResult, run_trace
+from repro.sim.multiprog import MultiProgramResult, ProcessRun
+from repro.sim.tenants import run_timeshared
 from repro.sim.workloads import Workload, get_workload
 from repro.util.rng import spawn_rng
 from repro.vmos.compaction import CompactionResult, compact
@@ -147,7 +148,7 @@ class System:
         """Run one process alone on the machine's translation hardware."""
         trace = process.workload.make_trace(references, seed=self.seed)
         instance = make_scheme(scheme, process.mapping, self.machine)
-        return simulate(instance, trace, epoch_references=epoch_references)
+        return run_trace(instance, trace, epoch_references=epoch_references)
 
     def run_together(
         self,
@@ -166,6 +167,6 @@ class System:
             )
             for process in processes
         ]
-        return simulate_multiprogrammed(
+        return run_timeshared(
             runs, quantum=quantum, flush_on_switch=flush_on_switch
         )

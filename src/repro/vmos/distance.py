@@ -100,3 +100,49 @@ def cost_table(
 ) -> dict[int, float]:
     """Cost of every candidate distance (for ablation reports)."""
     return {d: cost_fn(histogram, d) for d in sorted(candidates)}
+
+
+class DistanceRegisterFile:
+    """Per-tenant anchor-distance registers (paper §3.1).
+
+    The hardware has a *single* anchor-distance register; the OS saves
+    and restores it per process alongside CR3 on every context switch.
+    This file is that OS-side save area: the tenant scheduler records
+    each tenant's distance on switch-out and reloads the live register
+    (``AnchorL2TLB.restore_distance``) on switch-in.  With tagged TLBs
+    the reload must *not* flush — the tenant's own entries, inserted
+    under the same distance, are still valid, and its neighbours'
+    entries are not ours to shoot down.
+
+    Tenants are keyed by name.  ``saves``/``restores`` count operations
+    for the fleet report.
+    """
+
+    def __init__(self) -> None:
+        self._registers: dict[str, int] = {}
+        self.saves = 0
+        self.restores = 0
+
+    def save(self, tenant: str, distance: int) -> None:
+        """Record ``tenant``'s current register value (switch-out)."""
+        if distance <= 0:
+            raise ValueError("distance must be positive")
+        self._registers[tenant] = distance
+        self.saves += 1
+
+    def restore(self, tenant: str) -> int | None:
+        """The value to reload on switch-in (``None`` if never saved)."""
+        value = self._registers.get(tenant)
+        if value is not None:
+            self.restores += 1
+        return value
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._registers
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+    def to_dict(self) -> dict[str, int]:
+        """Register values keyed by tenant, sorted for stable output."""
+        return {name: self._registers[name] for name in sorted(self._registers)}

