@@ -99,10 +99,18 @@ def main() -> None:
         for pwc in (False, True):
             key = f"{name}+pwc" if pwc else name
             entry = bench_scheme(name, mapping, trace, args.repeats, pwc=pwc)
+            if pwc:
+                # The ratio ROADMAP item 1 gates on: what enabling the
+                # page-walk caches costs the batched engine, per scheme.
+                twin = results["schemes"][name]["batched_seconds"]
+                entry["pwc_slowdown"] = (
+                    round(entry["batched_seconds"] / twin, 2) if twin else 0.0)
             results["schemes"][key] = entry
+            slowdown = (f"  pwc-slowdown {entry['pwc_slowdown']:4.2f}x"
+                        if pwc else "")
             print(f"{key:18s} scalar {entry['scalar_seconds']:7.3f}s"
                   f"  batched {entry['batched_seconds']:7.3f}s"
-                  f"  speedup {entry['speedup']:5.2f}x")
+                  f"  speedup {entry['speedup']:5.2f}x{slowdown}")
     results["peak_rss_bytes"] = peak_rss_bytes()
     print(f"peak rss: {results['peak_rss_bytes'] / 2**20:.1f} MiB")
     args.output.write_text(json.dumps(results, indent=2) + "\n")

@@ -26,8 +26,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import PageFaultError
+from repro.hw.tlb import KEY_MASK
 from repro.params import DEFAULT_MACHINE, MachineConfig
-from repro.hw.anchor_tlb import KIND_ANCHOR, KIND_HUGE, AnchorL2TLB
+from repro.hw.anchor_tlb import (
+    KIND_ANCHOR,
+    KIND_HUGE,
+    KIND_SMALL,
+    AnchorL2TLB,
+)
 from repro.schemes.base import TranslationScheme
 from repro.sim.lru import (
     collapse_runs,
@@ -74,6 +80,18 @@ class AnchorScheme(TranslationScheme):
         self.l2 = AnchorL2TLB(config, distance)
         self._dlog = distance.bit_length() - 1
         self._block_cache = None
+        # Resident-state caches for the block fast path: sets holding a
+        # same-tenant entry whose value drifted from the directory, the
+        # drifted anchor entries themselves, and resident small keys
+        # whose VPN the current plan classifies as anchored.  Rebuilt by
+        # a full array scan only after a directory (or tag) change —
+        # stale survivors can appear at no other time — and shrunk by a
+        # cheap per-entry re-probe between scans.
+        self._stale_sets: set[int] = set()
+        self._stale_anchors: dict[int, tuple[int, int]] = {}
+        self._anch_smalls: set[int] = set()
+        self._scan_needed = True
+        self._scan_tag = -1
 
     # ------------------------------------------------------------------
 
@@ -148,19 +166,98 @@ class AnchorScheme(TranslationScheme):
 
     def _invalidate_block_cache(self) -> None:
         self._block_cache = None
+        self._scan_needed = True
+
+    def _rescan_residents(self, tbase: int) -> None:
+        """Full array scan rebuilding the resident-state caches."""
+        directory = self.directory
+        small_dir = directory.small
+        anchor_cont = directory.anchor_contiguity
+        huge = directory.huge
+        dlog = self._dlog
+        stale_sets: set[int] = set()
+        stale_anchors: dict[int, tuple[int, int]] = {}
+        anch_smalls: set[int] = set()
+        for index, bucket in enumerate(self.l2.array._sets):
+            for key, value in bucket.items():
+                if (key & ~KEY_MASK) != tbase:
+                    continue          # another tenant's entry
+                kind = key & 3
+                base = (key & KEY_MASK) >> 2
+                if kind == KIND_ANCHOR:
+                    if value != (small_dir.get(base),
+                                 anchor_cont.get(base)):
+                        stale_sets.add(index)
+                        stale_anchors[key] = value
+                elif kind == KIND_SMALL:
+                    if value != small_dir.get(base):
+                        stale_sets.add(index)
+                    avpn = base >> dlog << dlog
+                    if base - avpn < anchor_cont.get(avpn, 0):
+                        anch_smalls.add(key)
+                else:
+                    if value != huge.get(base << _HUGE_SHIFT):
+                        stale_sets.add(index)
+        self._stale_sets = stale_sets
+        self._stale_anchors = stale_anchors
+        self._anch_smalls = anch_smalls
+        self._scan_needed = False
+        self._scan_tag = tbase
+
+    def _prune_residents(self, tbase: int) -> None:
+        """Re-probe the cached drifted entries; they can only go away
+        (replay or other-tenant pressure evicting them, a replayed walk
+        re-filling an anchor with current values) — never appear —
+        between directory changes."""
+        if not (self._stale_sets or self._anch_smalls):
+            return
+        array = self.l2.array
+        buckets = array._sets
+        directory = self.directory
+        small_dir = directory.small
+        anchor_cont = directory.anchor_contiguity
+        huge = directory.huge
+        stale_anchors: dict[int, tuple[int, int]] = {}
+        for index in sorted(self._stale_sets):
+            drifted = False
+            for key, value in buckets[index].items():
+                if (key & ~KEY_MASK) != tbase:
+                    continue
+                kind = key & 3
+                base = (key & KEY_MASK) >> 2
+                if kind == KIND_ANCHOR:
+                    if value != (small_dir.get(base),
+                                 anchor_cont.get(base)):
+                        drifted = True
+                        stale_anchors[key] = value
+                elif kind == KIND_SMALL:
+                    if value != small_dir.get(base):
+                        drifted = True
+                elif value != huge.get(base << _HUGE_SHIFT):
+                    drifted = True
+            if not drifted:
+                self._stale_sets.discard(index)
+        self._stale_anchors = stale_anchors
+        imask = array.index_mask
+        for key in list(self._anch_smalls):
+            if buckets[((key & KEY_MASK) >> 2) & imask].get(key) is None:
+                self._anch_smalls.discard(key)
 
     def access_block(self, vpns: np.ndarray) -> None:
         """Vectorised fast path.
 
         The L1 arrays are promote-or-insert LRU (every head is filled
         with its directory translation whatever the L2 outcome), so both
-        resolve with :func:`simulate_block`.  The shared L2 is *not*:
-        a small-page miss may fill the anchor entry instead of the
-        probed key, and the anchor probe touches a different key than
-        the walk fills — so the L1 misses replay through an exact
-        Python loop over the array's buckets, with every per-reference
-        directory lookup (class, AVPN, contiguity, APPN, PFN) hoisted
-        into numpy up front.
+        resolve with :func:`simulate_block`.  The shared L2 decomposes
+        the same way the cluster schemes do (docs/api_tour.md §15):
+        each L1-miss row's probe/fill flow touches exactly one *main*
+        key chosen by a static property of the directory (huge rows
+        their huge key, anchored rows their anchor key, the rest their
+        small key — Table 2), so the main stream batches through
+        :func:`simulate_block`; the residual coupling — weak anchor
+        promotions by unanchored misses, and stale entries surviving
+        the incremental OS-update paths — is confined to the few sets
+        it can touch, which replay exactly in trace order.
         """
         if vpns.shape[0] == 0:
             return
@@ -189,53 +286,194 @@ class AnchorScheme(TranslationScheme):
         huge_value = lambda h: huge[h << _HUGE_SHIFT]  # noqa: E731
         hit1[is_huge] = simulate_block(self.l1.huge, hv, hv, huge_value)
 
-        # Per-L1-miss precomputation, then the exact L2 replay.
+        # Per-L1-miss precomputation for the shared L2.  Each miss row's
+        # probe/fill flow touches exactly one *main* key, chosen by a
+        # static property of the directory (Table 2): huge rows their
+        # huge key, anchored rows (vpn - avpn < contiguity) their anchor
+        # key, the rest their small key.  That makes the main stream
+        # promote-or-insert, so it batches through simulate_block; the
+        # residual coupling — an unanchored miss *promoting* a resident
+        # anchor entry it doesn't cover, and stale entries surviving the
+        # incremental OS-update paths — is confined to the few sets it
+        # can touch, which replay exactly in trace order below (the same
+        # decomposition the cluster schemes use, docs/api_tour.md §15).
         miss = ~hit1
         dlog = self._dlog
-        imask = self.l2.array.index_mask
-        ways = self.l2.array.ways
-        buckets = self.l2.array._sets
+        array = self.l2.array
+        imask = array.index_mask
+        ways = array.ways
+        buckets = array._sets
         # The replay builds raw keys, bypassing the array's tag packing;
         # OR the active tenant's tag base in explicitly (0 when untagged)
         # so tagged entries of other tenants never alias but still
-        # contend for ways.
-        tbase = self.l2.array._tag_base
+        # contend for ways.  simulate_block packs the same bits itself.
+        tbase = array._tag_base
         mk = heads[miss]
+        m = mk.shape[0]
+        m_huge = is_huge[miss]
+        m_hb = hbase[miss]
         avpn = mk >> dlog << dlog
-        cont, _ = lookup_sorted(an_keys, an_vals, avpn)
+        na = an_keys.size
+        if na:
+            aid = np.searchsorted(an_keys, avpn)
+            aid[aid == na] = 0
+            af = an_keys[aid] == avpn
+            cont = np.where(af, an_vals[aid], 0)
+        else:
+            aid = np.zeros(m, dtype=np.int64)
+            af = np.zeros(m, dtype=bool)
+            cont = np.zeros(m, dtype=np.int64)
         appn, _ = lookup_sorted(sm_keys, sm_vals, avpn)
         pfn_heads = np.zeros(heads.shape[0], dtype=np.int64)
         pfn_heads[is_small] = pfn_sm
-        l2_small = l2_huge = coalesced = walks = 0
-        walk_vpns: list[int] = []
-        walk_huge: list[bool] = []
-        rows = zip(
-            mk.tolist(),
-            is_huge[miss].tolist(),
-            (hvpn[miss] & imask).tolist(),
-            hbase[miss].tolist(),
-            avpn.tolist(),
-            ((mk >> dlog) & imask).tolist(),
-            cont.tolist(),
-            appn.tolist(),
-            pfn_heads[miss].tolist(),
-        )
-        for vpn, huge_row, hidx, hb, av, aidx, cont_d, ap, pfn in rows:
-            if huge_row:
-                bucket = buckets[hidx]
-                key = (vpn >> _HUGE_SHIFT << 2) | KIND_HUGE | tbase
+        m_pfn = pfn_heads[miss]
+        small_m = ~m_huge
+        anchored = small_m & (mk - avpn < cont)
+        unanch = small_m & ~anchored
+        aidx = (mk >> dlog) & imask
+        pak = ((avpn << 2) | KIND_ANCHOR) | np.int64(tbase)
+
+        main_keys = np.where(
+            m_huge, ((mk >> _HUGE_SHIFT) << 2) | KIND_HUGE,
+            np.where(anchored, (avpn << 2) | KIND_ANCHOR, mk << 2))
+        main_sets = np.where(
+            m_huge, (mk >> _HUGE_SHIFT) & imask,
+            np.where(anchored, aidx, mk & imask))
+
+        # Refresh the resident-state caches: full array scan only after
+        # a directory (or tag) change, cheap shrink-only re-probe of
+        # the cached entries otherwise.
+        if self._scan_needed or self._scan_tag != tbase:
+            self._rescan_residents(tbase)
+        else:
+            self._prune_residents(tbase)
+        stale_anchors = self._stale_anchors
+        anch_smalls = self._anch_smalls
+
+        # Anchor residency by direct probe: a block touches few
+        # distinct anchors, so probing their buckets beats snapshotting
+        # the whole array.  Values are block-start state; rows whose
+        # outcome depends on mid-block changes are forced into the
+        # replay, which re-checks live state.
+        probe = af & small_m
+        touched = np.zeros(na + 1, dtype=bool)
+        touched[aid[probe]] = True
+        rf = np.zeros(na + 1, dtype=bool)
+        ra = np.zeros(na + 1, dtype=np.int64)
+        rc = np.zeros(na + 1, dtype=np.int64)
+        for j in np.flatnonzero(touched[:na]).tolist():
+            av = int(an_keys[j])
+            entry = buckets[(av >> dlog) & imask].get(
+                ((av << 2) | KIND_ANCHOR) | tbase)
+            if entry is not None:
+                rf[j] = True
+                ra[j] = entry[0]
+                rc[j] = entry[1]
+        resident = rf[aid] & probe
+        r_ap = np.where(resident, ra[aid], 0)
+        r_ct = np.where(resident, rc[aid], 0)
+        # Anchors the directory dropped can survive as resident
+        # entries; their keys and values come from the drift cache.
+        if stale_anchors:
+            items = sorted(stale_anchors.items())
+            sa_keys = np.array([k for k, _ in items], dtype=np.int64)
+            sa_ap = np.array([v[0] for _, v in items], dtype=np.int64)
+            sa_ct = np.array([v[1] for _, v in items], dtype=np.int64)
+            s_ap, s_found = lookup_sorted(sa_keys, sa_ap, pak)
+            s_ct, _ = lookup_sorted(sa_keys, sa_ct, pak)
+            s_found &= small_m
+            resident |= s_found
+            r_ap = np.where(s_found, s_ap, r_ap)
+            r_ct = np.where(s_found, s_ct, r_ct)
+        stale = resident & ((r_ap != appn) | (r_ct != cont))
+        sk_res = np.zeros(m, dtype=bool)
+        if anch_smalls and bool(anchored.any()):
+            sk_res = anchored & isin_sorted(
+                np.sort(np.fromiter(anch_smalls, dtype=np.int64,
+                                    count=len(anch_smalls))),
+                (mk << 2) | np.int64(tbase))
+
+        # Candidate weak touches: an unanchored miss probes its anchor
+        # key and promotes it if resident — possible only if that key
+        # was resident at block start or an in-block anchored row
+        # inserts it.
+        inblk = np.zeros(na + 1, dtype=bool)
+        inblk[aid[anchored]] = True
+        cand = unanch & (resident | (probe & inblk[aid]))
+        forced = (stale & (anchored | (unanch & (mk - avpn < r_ct)))) | sk_res
+        # A forced row replays its full scalar flow, which can touch
+        # both its anchor set and its small-key set — contaminate both.
+        # Sets holding drifted entries always replay: the kernel would
+        # rebuild their final state through value_of — *current* values
+        # — silently refreshing what the scalar machine keeps stale.
+        bad_sets = np.unique(np.concatenate([
+            aidx[cand | (forced & small_m)],
+            (mk & imask)[forced & small_m],
+            main_sets[forced],
+            np.fromiter(self._stale_sets, dtype=np.int64,
+                        count=len(self._stale_sets)),
+        ]))
+        if bad_sets.size:
+            row_bad = isin_sorted(bad_sets, main_sets)
+            weak_only = cand & ~row_bad
+        else:
+            row_bad = np.zeros(m, dtype=bool)
+            weak_only = row_bad
+
+        # Batched main stream over the clean sets only.  value_of
+        # resolves by *key* (not row) because the kernel also calls it
+        # for resident prefix entries surviving into the final state of
+        # a touched set; the drift check above guarantees every such
+        # key still resolves to its resident value.
+        clean = ~row_bad
+        small_dir = directory.small
+        anchor_cont = directory.anchor_contiguity
+
+        def value_of(key: int):
+            kind = key & 3
+            base = key >> 2
+            if kind == KIND_ANCHOR:
+                return (small_dir[base], anchor_cont[base])
+            if kind == KIND_HUGE:
+                return huge[base << _HUGE_SHIFT]
+            return small_dir[base]
+
+        hit2 = np.zeros(m, dtype=bool)
+        hit2[clean] = simulate_block(
+            array, main_sets[clean], main_keys[clean], value_of)
+        walk_mask = clean & ~hit2
+        ch = clean & hit2
+        l2_huge = int(np.count_nonzero(ch & m_huge))
+        coalesced = int(np.count_nonzero(ch & anchored))
+        l2_small = int(np.count_nonzero(ch & unanch))
+
+        # Exact replay of the contaminated sets, plus the weak anchor
+        # promotions of clean unanchored misses, in trace order.
+        for i in np.flatnonzero(row_bad | weak_only).tolist():
+            if weak_only[i]:
+                if hit2[i]:  # main probe hit: the anchor is never probed
+                    continue
+                abucket = buckets[int(aidx[i])]
+                akey = int(pak[i])
+                entry = abucket.get(akey)
+                if entry is not None:
+                    del abucket[akey]
+                    abucket[akey] = entry
+                continue
+            vpn = int(mk[i])
+            if m_huge[i]:
+                bucket = buckets[int(main_sets[i])]
+                key = int(main_keys[i]) | tbase
                 value = bucket.get(key)
                 if value is not None:
                     del bucket[key]
                     bucket[key] = value
                     l2_huge += 1
                 else:
-                    walks += 1
-                    walk_vpns.append(vpn)
-                    walk_huge.append(True)
+                    walk_mask[i] = True
                     if len(bucket) >= ways:
                         del bucket[next(iter(bucket))]
-                    bucket[key] = hb
+                    bucket[key] = int(m_hb[i])
                 continue
             bucket = buckets[vpn & imask]
             skey = (vpn << 2) | tbase  # | KIND_SMALL
@@ -245,9 +483,10 @@ class AnchorScheme(TranslationScheme):
                 bucket[skey] = value
                 l2_small += 1
                 continue
-            abucket = buckets[aidx]
-            akey = (av << 2) | KIND_ANCHOR | tbase
+            abucket = buckets[int(aidx[i])]
+            akey = int(pak[i])
             entry = abucket.get(akey)
+            av = int(avpn[i])
             if entry is not None:
                 # The probe touches LRU even when contiguity misses.
                 del abucket[akey]
@@ -255,24 +494,23 @@ class AnchorScheme(TranslationScheme):
                 if vpn - av < entry[1]:
                     coalesced += 1
                     continue
-            walks += 1
-            walk_vpns.append(vpn)
-            walk_huge.append(False)
-            if vpn - av < cont_d:
+            walk_mask[i] = True
+            if vpn - av < int(cont[i]):
                 if akey in abucket:
                     del abucket[akey]
                 elif len(abucket) >= ways:
                     del abucket[next(iter(abucket))]
-                abucket[akey] = (ap, cont_d)
+                abucket[akey] = (int(appn[i]), int(cont[i]))
             else:
                 if len(bucket) >= ways:
                     del bucket[next(iter(bucket))]
-                bucket[skey] = pfn
+                bucket[skey] = int(m_pfn[i])
+
+        walks = int(np.count_nonzero(walk_mask))
         walk_pt = 0
         if self.pwc is not None:
             walk_pt = self._block_walk_accesses(
-                np.asarray(walk_vpns, dtype=np.int64),
-                np.asarray(walk_huge, dtype=bool))
+                mk[walk_mask], m_huge[walk_mask])
         self.stats.bulk_update(
             accesses=n,
             l1_hits=n - heads.shape[0] + int(np.count_nonzero(hit1)),

@@ -27,10 +27,17 @@ from repro.params import (
     MachineConfig,
 )
 from repro.hw.cluster import ClusterEntry, ClusterTLB, build_cluster_entry
-from repro.hw.tlb import SetAssociativeTLB
+from repro.hw.tlb import KEY_MASK, SetAssociativeTLB, TAG_SHIFT
 from repro.schemes.base import TranslationScheme, promote_huge_pages
-from repro.sim.lru import collapse_runs, lookup_sorted, simulate_block, sorted_arrays
-from repro.vmos.mapping import MemoryMapping
+from repro.sim.lru import (
+    collapse_runs,
+    isin_sorted,
+    lookup_sorted,
+    previous_occurrence,
+    simulate_block,
+    sorted_arrays,
+)
+from repro.vmos.mapping import MemoryMapping, cluster_slot_offsets
 
 _HUGE_SHIFT = 9
 _KIND_SMALL = 0
@@ -43,10 +50,12 @@ class ClusterScheme(TranslationScheme):
     """Partitioned regular + cluster-8 L2 (optionally with 2 MiB pages)."""
 
     name = "cluster"
-    #: The block fast path writes raw (untagged) keys into its
-    #: arrays' buckets; sharing them between tagged tenants would
-    #: alias entries across address spaces.
-    tag_safe_block = False
+    #: The block fast path packs the arrays' address-space tag into
+    #: every key it writes (the regular side through
+    #: :func:`simulate_block`, the clustered side explicitly in the
+    #: contaminated-set replay), so the partitioned L2 can be shared
+    #: between tagged tenants.
+    tag_safe_block = True
 
     def __init__(
         self,
@@ -126,18 +135,43 @@ class ClusterScheme(TranslationScheme):
         return self._walk_cycles(vpn)
 
     def access_block(self, vpns: np.ndarray) -> None:
-        """Vectorised fast path.
+        """Vectorised fast path via class decomposition.
 
-        The L1 arrays are promote-or-insert (every head ends up filled
-        with its true translation), so they resolve with
-        :func:`simulate_block`.  The partitioned L2 does *not*: a walk
-        fills the clustered side only when the built entry clusters
-        (coverage > 1) and the regular side otherwise, so neither array
-        is promote-or-insert over its own probe stream.  The L1 misses
-        therefore replay through an exact Python loop, with every
-        per-reference lookup — page-size class, PFN, and the 8-slot
-        cluster-coverage computation a walk's fill logic would perform —
-        hoisted into numpy up front.
+        The partition is *not* promote-or-insert over its raw probe
+        stream (a walk fills the clustered side only when the built
+        entry clusters, the regular side otherwise), but the fill
+        decision is static per mapping version: a 4 KiB miss walks into
+        the clustered side iff its :func:`cluster_slot_offsets` coverage
+        exceeds one.  Splitting the misses by that bit yields two
+        streams that *are* tractable:
+
+        * **R-class** (coverage == 1) pages and 2 MiB pages only ever
+          fill — and therefore only ever hit — the regular side, and a
+          C-class probe of the regular array never touches it (misses
+          don't touch LRU), so the regular array is promote-or-insert
+          over the huge + R-class stream alone: one
+          :func:`simulate_block` call.
+        * **C-class** (coverage > 1) accesses are promote-or-insert on
+          their vcluster over the clustered array (a covered hit
+          promotes; an uncovered probe promotes and the walk's insert
+          replaces in place; a miss inserts), and no R-class page is
+          ever *covered* by a resident cluster entry (coverage would be
+          > 1).  After any C-class access the resident entry equals the
+          entry its own walk would build — a covered hit implies the
+          same physical cluster and hence a value-equal entry — so
+          residency resolves with :func:`simulate_block` and coverage
+          reduces to physical-cluster identity with the previous
+          same-vcluster access (:func:`previous_occurrence`), with at
+          most one pre-block snapshot check per resident vcluster.
+
+        The one interaction between the streams: an R-class page that
+        misses the regular side *touches* its vcluster's LRU position
+        in the clustered array (the probe promotes even on an uncovered
+        slot) without ever inserting.  A touch whose vcluster cannot be
+        resident — not in the pre-block snapshot nor C-class-accessed
+        in the block — is a no-op and is dropped; the few sets that
+        receive a candidate touch replay their accesses exactly in
+        Python (sets are independent, so the per-set split is exact).
         """
         if vpns.shape[0] == 0:
             return
@@ -145,7 +179,7 @@ class ClusterScheme(TranslationScheme):
         heads = collapse_runs(vpns)
         n = vpns.shape[0]
         hvpn = heads >> _HUGE_SHIFT
-        hbase, is_huge = lookup_sorted(hg_keys, hg_vals, hvpn << _HUGE_SHIFT)
+        _, is_huge = lookup_sorted(hg_keys, hg_vals, hvpn << _HUGE_SHIFT)
         is_small = ~is_huge
         small_heads = heads[is_small]
         pfn_sm, found = lookup_sorted(sm_keys, sm_vals, small_heads)
@@ -164,105 +198,178 @@ class ClusterScheme(TranslationScheme):
 
         miss = ~hit1
         mk = heads[miss]
+        m_huge = is_huge[miss]
         pfn_heads = np.zeros(heads.shape[0], dtype=np.int64)
         pfn_heads[is_small] = pfn_sm
         pfn = pfn_heads[miss]
-        vclusters = mk >> _CLUSTER_SHIFT
-        pcluster = pfn >> _CLUSTER_SHIFT
-        # The entry a walk would build: which of the missing page's 8
-        # line slots land in its physical cluster.
-        slot_vpns = ((vclusters << _CLUSTER_SHIFT)[:, None]
-                     + np.arange(CLUSTER_FACTOR, dtype=np.int64)).ravel()
-        npfn, nfound = lookup_sorted(sm_keys, sm_vals, slot_vpns)
-        npfn = npfn.reshape(-1, CLUSTER_FACTOR)
-        valid = (nfound.reshape(-1, CLUSTER_FACTOR)
-                 & ((npfn >> _CLUSTER_SHIFT) == pcluster[:, None]))
-        coverage = valid.sum(axis=1)
-        offsets = np.where(valid, npfn & _CLUSTER_MASK, -1)
+        sm_rows = np.flatnonzero(~m_huge)
+        sv = mk[sm_rows]
+        coverage, offsets = cluster_slot_offsets(
+            sm_keys, sm_vals, sv, pfn[sm_rows], shift=_CLUSTER_SHIFT)
+        c_class = coverage > 1
 
-        r_ways = self.regular.ways
-        r_mask = self.regular.index_mask
-        r_sets = self.regular._sets
-        c_ways = self.clustered.array.ways
-        c_mask = self.clustered.array.index_mask
-        c_sets = self.clustered.array._sets
-        l2_small = l2_huge = coalesced = walks = 0
-        walk_vpns: list[int] = []
-        walk_huge: list[bool] = []
-        rows = zip(
-            mk.tolist(),
-            is_huge[miss].tolist(),
-            (hvpn[miss] & r_mask).tolist(),
-            hbase[miss].tolist(),
-            pfn.tolist(),
-            vclusters.tolist(),
-            coverage.tolist(),
-            offsets.tolist(),
-        )
-        for vpn, huge_row, hidx, hb, pfn_row, vc, cov, offs in rows:
-            if huge_row:
-                bucket = r_sets[hidx]
-                key = ((vpn >> _HUGE_SHIFT) << 1) | _KIND_HUGE
-                value = bucket.get(key)
-                if value is not None:
-                    del bucket[key]
-                    bucket[key] = value
-                    l2_huge += 1
-                else:
-                    walks += 1
-                    walk_vpns.append(vpn)
-                    walk_huge.append(True)
-                    if len(bucket) >= r_ways:
-                        del bucket[next(iter(bucket))]
-                    bucket[key] = hb
-                continue
-            bucket = r_sets[vpn & r_mask]
-            skey = vpn << 1  # | _KIND_SMALL
-            value = bucket.get(skey)
-            if value is not None:
-                del bucket[skey]
-                bucket[skey] = value
-                l2_small += 1
-                continue
-            cbucket = c_sets[vc & c_mask]
-            entry = cbucket.get(vc)
-            if entry is not None:
-                # The probe touches LRU even on an uncovered slot.
-                del cbucket[vc]
-                cbucket[vc] = entry
-                if entry.offsets[vpn & _CLUSTER_MASK] is not None:
-                    coalesced += 1
+        # --- regular side: huge + R-class stream, promote-or-insert ---
+        reg_sel = np.ones(mk.shape[0], dtype=bool)
+        reg_sel[sm_rows[c_class]] = False
+        reg_rows = np.flatnonzero(reg_sel)
+        rk = mk[reg_rows]
+        reg_huge = m_huge[reg_rows]
+        reg_sets = np.where(reg_huge, rk >> _HUGE_SHIFT, rk)
+        reg_keys = np.where(
+            reg_huge,
+            ((rk >> _HUGE_SHIFT) << 1) | _KIND_HUGE,
+            rk << 1)
+
+        def reg_value_of(key: int):
+            if key & _KIND_HUGE:
+                return huge[(key >> 1) << _HUGE_SHIFT]
+            return small[key >> 1]
+
+        hit2 = simulate_block(self.regular, reg_sets, reg_keys, reg_value_of)
+        l2_huge = int(np.count_nonzero(hit2 & reg_huge))
+        l2_small = int(np.count_nonzero(hit2)) - l2_huge
+        walk_mask = np.zeros(mk.shape[0], dtype=bool)
+        walk_mask[reg_rows[~hit2]] = True  # every regular miss walks
+
+        # --- clustered side -------------------------------------------
+        carr = self.clustered.array
+        c_setmask = carr.index_mask
+        tag_base = carr.tag << TAG_SHIFT
+        snapshot = {
+            key: entry
+            for bucket in carr._sets
+            for key, entry in bucket.items()
+        }
+        strong_rows = sm_rows[c_class]
+        strong_v = mk[strong_rows]
+        strong_vc = strong_v >> _CLUSTER_SHIFT
+        strong_pc = pfn[strong_rows] >> _CLUSTER_SHIFT
+        strong_offs = offsets[c_class]
+        strong_pk = strong_vc | np.int64(tag_base)
+
+        # Candidate weak touches: R-class regular misses whose vcluster
+        # could be resident when probed.
+        weak_rows = reg_rows[~hit2 & ~reg_huge]
+        weak_vc = mk[weak_rows] >> _CLUSTER_SHIFT
+        if weak_vc.size and (snapshot or strong_pk.size):
+            universe = np.concatenate([
+                np.fromiter(snapshot, dtype=np.int64, count=len(snapshot)),
+                strong_pk,
+            ])
+            universe.sort()
+            weak_cand = isin_sorted(universe, weak_vc | np.int64(tag_base))
+        else:
+            weak_cand = np.zeros(weak_vc.shape, dtype=bool)
+        bad_sets = np.unique(weak_vc[weak_cand] & c_setmask)
+        if bad_sets.size:
+            strong_bad = isin_sorted(bad_sets, strong_vc & c_setmask)
+        else:
+            strong_bad = np.zeros(strong_vc.shape, dtype=bool)
+        clean = ~strong_bad
+
+        # Clean sets: one simulate_block over the C-class stream.
+        cvc = strong_vc[clean]
+        cpc = strong_pc[clean]
+        c_offs = strong_offs[clean]
+        # Last build per vcluster wins, like the walks.  Entries are
+        # materialised lazily: value_of only runs for the handful of
+        # keys surviving into the final state, not per access.
+        last_row = dict(zip(cvc.tolist(), range(cvc.shape[0])))
+
+        def c_value_of(vc: int) -> ClusterEntry:
+            j = last_row.get(vc)
+            if j is None:
+                return snapshot[vc | tag_base]
+            return ClusterEntry(
+                vc, int(cpc[j]) << _CLUSTER_SHIFT,
+                tuple(int(o) if o >= 0 else None for o in c_offs[j]))
+
+        array_hit = simulate_block(carr, cvc, cvc, c_value_of)
+        prev = previous_occurrence(cvc)
+        has_prev = prev >= 0
+        covered = np.zeros(cvc.shape[0], dtype=bool)
+        covered[has_prev] = cpc[prev[has_prev]] == cpc[has_prev]
+        cv = strong_v[clean]
+        for i in np.flatnonzero(array_hit & ~has_prev).tolist():
+            entry = snapshot.get(int(cvc[i]) | tag_base)
+            covered[i] = (
+                entry is not None
+                and entry.offsets[int(cv[i]) & _CLUSTER_MASK] is not None)
+        trans_hit = array_hit & covered
+        coalesced = int(np.count_nonzero(trans_hit))
+        walk_mask[strong_rows[clean][~trans_hit]] = True
+
+        # Contaminated sets: exact Python replay, in trace order.
+        if bad_sets.size:
+            c_ways = carr.ways
+            c_sets = carr._sets
+            n_strong = int(np.count_nonzero(strong_bad))
+            rep_pos = np.concatenate(
+                [strong_rows[strong_bad], weak_rows[weak_cand]])
+            rep_vc = np.concatenate(
+                [strong_vc[strong_bad], weak_vc[weak_cand]])
+            order = np.argsort(rep_pos)
+            slot_b = (strong_v[strong_bad] & _CLUSTER_MASK).tolist()
+            pcb_b = ((strong_pc[strong_bad]) << _CLUSTER_SHIFT).tolist()
+            offs_b = strong_offs[strong_bad].tolist()
+            o_vc = rep_vc[order]
+            rows = zip(
+                rep_pos[order].tolist(),
+                order.tolist(),
+                (o_vc | np.int64(tag_base)).tolist(),
+                (o_vc & c_setmask).tolist(),
+            )
+            # Walks at the same (vcluster, pcluster) build value-equal
+            # entries (the decomposition is static per mapping version),
+            # so one materialisation serves every rebuild.
+            entry_cache: dict[tuple[int, int], ClusterEntry] = {}
+            for pos, j, pk, sidx in rows:
+                bucket = c_sets[sidx]
+                entry = bucket.get(pk)
+                if j >= n_strong:
+                    # Weak touch: the R-class probe promotes a resident
+                    # entry even though its slot is never covered.
+                    if entry is not None:
+                        del bucket[pk]
+                        bucket[pk] = entry
                     continue
-            walks += 1
-            walk_vpns.append(vpn)
-            walk_huge.append(False)
-            if cov > 1:
-                new = ClusterEntry(
-                    vc, (pfn_row >> _CLUSTER_SHIFT) << _CLUSTER_SHIFT,
-                    tuple(o if o >= 0 else None for o in offs))
-                if vc in cbucket:
-                    del cbucket[vc]
-                elif len(cbucket) >= c_ways:
-                    del cbucket[next(iter(cbucket))]
-                cbucket[vc] = new
-            else:
-                if len(bucket) >= r_ways:
+                if entry is not None:
+                    del bucket[pk]
+                    bucket[pk] = entry
+                    if entry.offsets[slot_b[j]] is not None:
+                        coalesced += 1
+                        continue
+                walk_mask[pos] = True
+                pcb = pcb_b[j]
+                new = entry_cache.get((pk, pcb))
+                if new is None:
+                    new = ClusterEntry(
+                        pk & KEY_MASK, pcb,
+                        tuple(o if o >= 0 else None for o in offs_b[j]))
+                    entry_cache[(pk, pcb)] = new
+                if pk in bucket:
+                    del bucket[pk]
+                elif len(bucket) >= c_ways:
                     del bucket[next(iter(bucket))]
-                bucket[skey] = pfn_row
-        walk_pt = 0
-        if self.pwc is not None:
-            walk_pt = self._block_walk_accesses(
-                np.asarray(walk_vpns, dtype=np.int64),
-                np.asarray(walk_huge, dtype=bool))
+                bucket[pk] = new
+
+        walk_vpns = mk[walk_mask]
+        walk_pt = self._block_walk_accesses(walk_vpns, m_huge[walk_mask])
         self.stats.bulk_update(
             accesses=n,
             l1_hits=n - heads.shape[0] + int(np.count_nonzero(hit1)),
             l2_small_hits=l2_small,
             l2_huge_hits=l2_huge,
             coalesced_hits=coalesced,
-            walks=walks,
+            walks=int(np.count_nonzero(walk_mask)),
             walk_pt_accesses=walk_pt,
         )
+
+    def set_asid(self, asid: int) -> None:
+        """Tag the partitioned L2 alongside the base structures."""
+        super().set_asid(asid)
+        self.regular.set_tag(asid)
+        self.clustered.array.set_tag(asid)
 
     def _translate(self, vpn: int) -> int:
         base = self._huge.get((vpn >> _HUGE_SHIFT) << _HUGE_SHIFT)

@@ -15,7 +15,7 @@ import numpy as np
 from repro.errors import PageFaultError
 from repro.params import DEFAULT_MACHINE, MachineConfig
 from repro.hw.cluster import ColtEntry, build_colt_entry
-from repro.hw.tlb import SetAssociativeTLB
+from repro.hw.tlb import SetAssociativeTLB, TAG_SHIFT
 from repro.schemes.base import TranslationScheme
 from repro.sim.lru import collapse_runs, previous_occurrence, simulate_block
 from repro.vmos.mapping import MemoryMapping
@@ -28,10 +28,11 @@ class ColtScheme(TranslationScheme):
     """Unified L2 of coalesced (up to 8-page) entries."""
 
     name = "colt"
-    #: The block fast path writes raw (untagged) keys into its
-    #: arrays' buckets; sharing them between tagged tenants would
-    #: alias entries across address spaces.
-    tag_safe_block = False
+    #: The block fast path mutates its arrays only through
+    #: :func:`simulate_block` (which packs the address-space tag
+    #: itself) and packs the tag into its pre-block snapshot lookups,
+    #: so the unified L2 can be shared between tagged tenants.
+    tag_safe_block = True
 
     def __init__(
         self,
@@ -115,6 +116,9 @@ class ColtScheme(TranslationScheme):
 
         # Entries resident before the block: needed as values for lines
         # the block never walks and for coverage checks on first probes.
+        # Snapshot keys are as stored — tag-packed — so every lookup
+        # below packs the array's current tag.
+        tag_base = self.l2.tag << TAG_SHIFT
         snapshot = {
             key: entry
             for bucket in self.l2._sets
@@ -128,7 +132,7 @@ class ColtScheme(TranslationScheme):
         def value_of(line: int) -> ColtEntry:
             args = built.get(line)
             if args is None:
-                return snapshot[line]
+                return snapshot[line | tag_base]
             return ColtEntry(*args)
 
         array_hit = simulate_block(self.l2, lines, lines, value_of)
@@ -137,7 +141,7 @@ class ColtScheme(TranslationScheme):
         covered = np.zeros(mk.shape[0], dtype=bool)
         covered[has_prev] = run[prev[has_prev]] == run[has_prev]
         for i in np.flatnonzero(array_hit & ~has_prev).tolist():
-            entry = snapshot.get(int(lines[i]))
+            entry = snapshot.get(int(lines[i]) | tag_base)
             covered[i] = (entry is not None
                           and entry.translate(int(mk[i])) is not None)
         trans_hit = array_hit & covered

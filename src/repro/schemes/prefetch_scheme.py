@@ -139,10 +139,21 @@ class PrefetchScheme(TranslationScheme):
         ways = self.l2.ways
         imask = self.l2.index_mask
         prefetched = self._prefetched
-        observe = self.predictor.observe_and_predict
+        predictor = self.predictor
+        table = predictor._table
+        pcap = predictor.capacity
+        last_vpn = predictor._last_vpn
+        last_distance = predictor._last_distance
         small_get = small.get
+        tpop = table.pop
+        tget = table.get
         l2_insert = self.l2.insert
         l2_hits = walks = 0
+        pf_hits = self.prefetch_hits
+        pf_issued = self.prefetches_issued
+        # The PWC wants every walk VPN in trace order; with it off the
+        # per-miss appends are pure overhead, so collect only the count.
+        want_walks = self.pwc is not None
         walk_vpns: list[int] = []
         for vpn, pfn in zip(mk.tolist(), pfn_mk.tolist()):
             bucket = buckets[vpn & imask]
@@ -154,23 +165,40 @@ class PrefetchScheme(TranslationScheme):
                 if vpn not in prefetched:
                     continue
                 prefetched.discard(vpn)
-                self.prefetch_hits += 1
+                pf_hits += 1
             else:
                 walks += 1
-                walk_vpns.append(vpn)
+                if want_walks:
+                    walk_vpns.append(vpn)
                 if len(bucket) >= ways:
                     del bucket[next(iter(bucket))]
                 bucket[vpn] = pfn
-            # _issue_prefetch, inlined: this runs once per (real or
-            # hidden) L2 miss on TLB-hostile traces, so the call
-            # overhead is measurable.
-            predicted = observe(vpn)
-            if predicted is not None:
-                predicted_pfn = small_get(predicted)
-                if predicted_pfn is not None:
-                    l2_insert(predicted, predicted, predicted_pfn)
-                    prefetched.add(predicted)
-                    self.prefetches_issued += 1
+            # DistancePredictor.observe_and_predict + _issue_prefetch,
+            # inlined with the predictor state in locals (written back
+            # after the loop): this runs once per real-or-hidden L2
+            # miss, nearly every row on TLB-hostile traces, and the
+            # call and attribute overhead dominates the epoch.
+            if last_vpn is not None:
+                distance = vpn - last_vpn
+                if last_distance is not None:
+                    if (tpop(last_distance, None) is None
+                            and len(table) >= pcap):
+                        del table[next(iter(table))]
+                    table[last_distance] = distance
+                next_distance = tget(distance)
+                last_distance = distance
+                if next_distance:
+                    predicted = vpn + next_distance
+                    predicted_pfn = small_get(predicted)
+                    if predicted_pfn is not None:
+                        l2_insert(predicted, predicted, predicted_pfn)
+                        prefetched.add(predicted)
+                        pf_issued += 1
+            last_vpn = vpn
+        predictor._last_vpn = last_vpn
+        predictor._last_distance = last_distance
+        self.prefetch_hits = pf_hits
+        self.prefetches_issued = pf_issued
         self.stats.bulk_update(
             accesses=vpns.shape[0],
             l1_hits=(vpns.shape[0] - heads.shape[0]

@@ -190,23 +190,31 @@ class RegionAnchorScheme(TranslationScheme):
                 np.asarray([r.start_vpn for r in self.regions], dtype=np.int64),
                 np.asarray([r.end_vpn for r in self.regions], dtype=np.int64),
                 np.asarray(self._dlogs, dtype=np.int64),
-                hg, sm, an, huge, small, anchors_ok,
+                hg, sm, an, huge, small, anchors, anchors_ok,
             )
         return self._block_cache
 
     def access_block(self, vpns: np.ndarray) -> None:
-        """Vectorised fast path (same structure as ``AnchorScheme``).
+        """Vectorised fast path (same decomposition as ``AnchorScheme``).
 
         The region-table lookup, page-size class, AVPN (with the
         per-region distance) and walk-time directory reads are hoisted
-        into numpy; the L1 arrays run through
-        :func:`repro.sim.lru.simulate_block`; the shared L2 — whose
-        conditional anchor-vs-small fills break the promote-or-insert
-        property — replays exactly in a Python loop.
+        into numpy, and both TLB levels run through
+        :func:`repro.sim.lru.simulate_block`.  For the shared L2 each
+        miss row's *main key* — huge, anchor, or small, decided purely
+        by the merged directories — is promote-or-insert, so the kernel
+        replays it exactly; the only cross-key coupling is the weak LRU
+        touch an un-anchored miss gives a *resident* anchor entry.  Sets
+        holding such a touched anchor are contaminated and every row
+        landing in them replays in trace order through the scalar flow;
+        see docs/api_tour.md §15.  Because every mapping update rebuilds
+        the directories and flushes the L2 (`_on_mapping_update`), no
+        resident entry can ever disagree with the merged directories, so
+        unlike ``AnchorScheme`` there is no stale-survivor machinery.
         """
         if vpns.shape[0] == 0:
             return
-        starts, ends, dlogs, hg, sm, an, huge_d, small_d, ok = (
+        starts, ends, dlogs, hg, sm, an, huge_d, small_d, anchors, ok = (
             self._merged_arrays())
         if not ok or starts.size == 0:
             return super().access_block(vpns)
@@ -237,42 +245,128 @@ class RegionAnchorScheme(TranslationScheme):
         ways = self.l2.ways
         buckets = self.l2._sets
         mk = heads[miss]
+        m = mk.shape[0]
+        m_huge = is_huge[miss]
+        m_hb = hbase[miss]
         dlog = dlogs[ridx[miss]]
         avpn = mk >> dlog << dlog
-        cont, _ = lookup_sorted(an[0], an[1], avpn)
+        an_keys, an_vals = an
+        na = an_keys.size
+        if na:
+            aid = np.searchsorted(an_keys, avpn)
+            aid[aid == na] = 0
+            af = an_keys[aid] == avpn
+            cont = np.where(af, an_vals[aid], 0)
+        else:
+            aid = np.zeros(m, dtype=np.int64)
+            af = np.zeros(m, dtype=bool)
+            cont = np.zeros(m, dtype=np.int64)
         appn, _ = lookup_sorted(sm[0], sm[1], avpn)
         pfn_heads = np.zeros(heads.shape[0], dtype=np.int64)
         pfn_heads[is_small] = pfn_sm
-        l2_small = l2_huge = coalesced = walks = 0
-        walk_vpns: list[int] = []
-        walk_huge: list[bool] = []
-        rows = zip(
-            mk.tolist(),
-            is_huge[miss].tolist(),
-            hbase[miss].tolist(),
-            avpn.tolist(),
-            ((avpn >> dlog) & imask).tolist(),
-            cont.tolist(),
-            appn.tolist(),
-            pfn_heads[miss].tolist(),
+        m_pfn = pfn_heads[miss]
+        small_m = ~m_huge
+        anchored = small_m & (mk - avpn < cont)
+        unanch = small_m & ~anchored
+        aidx = (avpn >> dlog) & imask
+        pak = (avpn << 2) | KIND_ANCHOR
+
+        # Main key per miss row, static given the merged directories:
+        # huge pages probe their huge key, covered small pages their
+        # region's anchor key, the rest their own small key.
+        main_keys = np.where(
+            m_huge,
+            ((mk >> _HUGE_SHIFT) << 2) | KIND_HUGE,
+            np.where(anchored, pak, (mk << 2) | KIND_SMALL),
         )
-        for vpn, huge_row, hb, av, aidx, cont_d, ap, pfn in rows:
-            if huge_row:
-                hv_i = vpn >> _HUGE_SHIFT
-                bucket = buckets[hv_i & imask]
-                key = (hv_i << 2) | KIND_HUGE
+        main_sets = np.where(
+            m_huge,
+            (mk >> _HUGE_SHIFT) & imask,
+            np.where(anchored, aidx, mk & imask),
+        )
+
+        # Which distinct anchors are resident right now?  Per-region
+        # distances mean the same anchor VPN indexes a different set
+        # under a different shift, so probe once per distinct distance.
+        probe = af & small_m
+        resident = np.zeros(m, dtype=bool)
+        rf = np.zeros(na + 1, dtype=bool)
+        for d in sorted(set(self._dlogs)):
+            dmask = probe & (dlog == d)
+            if not bool(dmask.any()):
+                continue
+            touched = np.zeros(na + 1, dtype=bool)
+            touched[aid[dmask]] = True
+            rf[:] = False
+            for j in np.flatnonzero(touched[:na]).tolist():
+                av = int(an_keys[j])
+                bucket = buckets[(av >> d) & imask]
+                if bucket.get((av << 2) | KIND_ANCHOR) is not None:
+                    rf[j] = True
+            resident[dmask] = rf[aid[dmask]]
+
+        # Un-anchored misses give a resident anchor a weak LRU touch
+        # (probe hits, contiguity never covers — resident entries match
+        # the directories exactly, see the docstring).  Contaminate the
+        # sets those anchors live in; an anchor inserted mid-block by an
+        # anchored row counts as resident for later rows.
+        inblk = np.zeros(na + 1, dtype=bool)
+        inblk[aid[anchored]] = True
+        cand = unanch & (resident | (probe & inblk[aid]))
+        if bool(cand.any()):
+            bad_sets = np.unique(aidx[cand])
+            row_bad = isin_sorted(bad_sets, main_sets)
+        else:
+            row_bad = np.zeros(m, dtype=bool)
+        weak_only = cand & ~row_bad
+        clean = ~row_bad
+
+        anchors_d = anchors
+        def value_of(key: int):
+            kind = key & 3
+            base = key >> 2
+            if kind == KIND_ANCHOR:
+                return (small_d[base], anchors_d[base])
+            if kind == KIND_HUGE:
+                return huge_d[base << _HUGE_SHIFT]
+            return small_d[base]
+
+        hit2 = np.zeros(m, dtype=bool)
+        hit2[clean] = simulate_block(
+            self.l2, main_sets[clean], main_keys[clean], value_of)
+        walk_mask = clean & ~hit2
+        ch = clean & hit2
+        l2_huge = int(np.count_nonzero(ch & m_huge))
+        coalesced = int(np.count_nonzero(ch & anchored))
+        l2_small = int(np.count_nonzero(ch & unanch))
+
+        for i in np.flatnonzero(row_bad | weak_only).tolist():
+            if weak_only[i]:
+                # Clean main set (kernel already replayed the small-key
+                # walk/insert); only the anchor touch remains.
+                if hit2[i]:
+                    continue
+                abucket = buckets[int(aidx[i])]
+                akey = int(pak[i])
+                entry = abucket.get(akey)
+                if entry is not None:
+                    del abucket[akey]
+                    abucket[akey] = entry
+                continue
+            vpn = int(mk[i])
+            if m_huge[i]:
+                bucket = buckets[int(main_sets[i])]
+                key = int(main_keys[i])
                 value = bucket.get(key)
                 if value is not None:
                     del bucket[key]
                     bucket[key] = value
                     l2_huge += 1
                 else:
-                    walks += 1
-                    walk_vpns.append(vpn)
-                    walk_huge.append(True)
+                    walk_mask[i] = True
                     if len(bucket) >= ways:
                         del bucket[next(iter(bucket))]
-                    bucket[key] = hb
+                    bucket[key] = int(m_hb[i])
                 continue
             bucket = buckets[vpn & imask]
             skey = (vpn << 2) | KIND_SMALL
@@ -282,9 +376,10 @@ class RegionAnchorScheme(TranslationScheme):
                 bucket[skey] = value
                 l2_small += 1
                 continue
-            abucket = buckets[aidx]
-            akey = (av << 2) | KIND_ANCHOR
+            abucket = buckets[int(aidx[i])]
+            akey = int(pak[i])
             entry = abucket.get(akey)
+            av = int(avpn[i])
             if entry is not None:
                 # The probe touches LRU even when contiguity misses.
                 del abucket[akey]
@@ -292,24 +387,23 @@ class RegionAnchorScheme(TranslationScheme):
                 if vpn - av < entry[1]:
                     coalesced += 1
                     continue
-            walks += 1
-            walk_vpns.append(vpn)
-            walk_huge.append(False)
-            if vpn - av < cont_d:
+            walk_mask[i] = True
+            if vpn - av < int(cont[i]):
                 if akey in abucket:
                     del abucket[akey]
                 elif len(abucket) >= ways:
                     del abucket[next(iter(abucket))]
-                abucket[akey] = (ap, cont_d)
+                abucket[akey] = (int(appn[i]), int(cont[i]))
             else:
                 if len(bucket) >= ways:
                     del bucket[next(iter(bucket))]
-                bucket[skey] = pfn
+                bucket[skey] = int(m_pfn[i])
+
+        walks = int(np.count_nonzero(walk_mask))
         walk_pt = 0
         if self.pwc is not None:
             walk_pt = self._block_walk_accesses(
-                np.asarray(walk_vpns, dtype=np.int64),
-                np.asarray(walk_huge, dtype=bool))
+                mk[walk_mask], m_huge[walk_mask])
         self.stats.bulk_update(
             accesses=n,
             l1_hits=n - heads.shape[0] + int(np.count_nonzero(hit1)),

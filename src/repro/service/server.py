@@ -244,6 +244,12 @@ class SimService:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+            except asyncio.CancelledError:
+                # Teardown can also land while awaiting the transport
+                # close; same treatment as the handler body above.
+                task = asyncio.current_task()
+                if task is not None:
+                    task.uncancel()
 
     # ------------------------------------------------------------------
     # Submission

@@ -23,7 +23,11 @@ accesses with numpy instead of one Python call per reference:
    intervening accesses cannot evict); no previous occurrence is a
    certain miss; a window of ``ways`` pairwise-distinct accesses after
    the previous occurrence (checked with a windowed maximum over the
-   ``prev`` links) is a certain miss;
+   ``prev`` links) is a certain miss; ``ways`` first-in-window
+   accesses inside any fixed-width window right after the previous
+   occurrence (a prefix sum per width) is a certain miss too —
+   the multi-scale pass that keeps high-turnover streams like the
+   page-walk caches' PD level off the exact resolver;
 4. resolve the few remaining accesses with an exact per-access
    distinct-count walk;
 5. rebuild each set's final content — the last ``ways`` distinct keys
@@ -136,13 +140,22 @@ def lookup_sorted(
     """Vectorised dict lookup against parallel sorted key/value arrays.
 
     Returns ``(values, found)``; missing queries get ``default``.
+    Contiguous key spaces (dense page tables, the common benchmark
+    shape) resolve with a range test and one gather instead of a
+    searchsorted per query.
     """
-    if sorted_keys.size == 0:
+    count = sorted_keys.size
+    if count == 0:
         return (np.full(queries.shape, default, dtype=np.int64),
                 np.zeros(queries.shape, dtype=bool))
-    idx = np.searchsorted(sorted_keys, queries)
-    idx[idx == sorted_keys.size] = 0
-    found = sorted_keys[idx] == queries
+    if int(sorted_keys[-1]) - int(sorted_keys[0]) + 1 == count:
+        base = np.int64(sorted_keys[0])
+        found = (queries >= base) & (queries < base + count)
+        idx = np.where(found, queries - base, np.int64(0))
+    else:
+        idx = np.searchsorted(sorted_keys, queries)
+        idx[idx == count] = 0
+        found = sorted_keys[idx] == queries
     values = np.where(found, sorted_values[idx], default)
     return values, found
 
@@ -232,6 +245,25 @@ def simulate_block(tlb, set_indices: np.ndarray, keys: np.ndarray, value_of):
     if tag:
         keys = keys | np.int64(tag << TAG_SHIFT)
 
+    max_key = int(keys.max())
+    if int(keys.min()) == max_key:
+        # Single distinct key (constant streams — the upper page-walk
+        # cache levels, single-page blocks): one promote-or-insert, all
+        # later accesses certain hits.  Same key means same set.
+        key = max_key
+        bucket = buckets[int(set_indices[0]) & mask]
+        hits[:] = True
+        value = bucket.get(key)
+        if value is not None:
+            del bucket[key]          # promote, keeping the resident value
+            bucket[key] = value
+        else:
+            hits[0] = False
+            if len(bucket) >= ways:
+                del bucket[next(iter(bucket))]
+            bucket[key] = value_of(key & KEY_MASK if tag else key)
+        return hits
+
     # Synthetic prefix: replaying the resident entries (LRU -> MRU)
     # into an empty array reproduces the current state exactly, so the
     # windowed logic below needs no special initial-state handling.
@@ -248,23 +280,64 @@ def simulate_block(tlb, set_indices: np.ndarray, keys: np.ndarray, value_of):
     if n0:
         all_keys = np.concatenate(
             [np.asarray(pre_keys, dtype=np.int64), keys])
-        all_sets = np.concatenate(
-            [np.asarray(pre_sets, dtype=np.int64), set_indices & mask])
     else:
         all_keys = np.asarray(keys, dtype=np.int64)
-        all_sets = set_indices & mask
     total = n0 + n
-    max_key = int(keys.max())
     if pre_keys:
         max_key = max(max_key, max(pre_keys))
 
-    # Group by set, preserving order within each set.
-    g_sets, g_pos = _sort_with_positions(all_sets, mask)
-    g_keys = all_keys[g_pos]
-    seg_bounds = np.flatnonzero(
-        np.r_[True, g_sets[1:] != g_sets[:-1]]).astype(np.int32)
-    seg_sizes = np.diff(np.append(seg_bounds, np.int32(total)))
-    seg_start = np.repeat(seg_bounds, seg_sizes)
+    idx = np.arange(total, dtype=np.int32)
+    if mask == 0:
+        # Fully associative array (the page-walk-cache levels): grouping
+        # by set is the identity, so skip the grouping sort entirely.
+        min_key = int(all_keys.min())
+        key_range = max_key - min_key + 1
+        if key_range <= max(64, 2 * ways):
+            # Scatter probe: with a small key range, first/last
+            # occurrences come from two plain fancy scatters — no sort.
+            # If the distinct keys all fit in the set, nothing is ever
+            # evicted and hits/final state follow immediately (the
+            # upper page-walk-cache levels every block).
+            dense = (all_keys - min_key).astype(np.int32, copy=False)
+            first_at = np.full(key_range, total, dtype=np.int32)
+            first_at[dense[::-1]] = idx[::-1]
+            last_at = np.full(key_range, -1, dtype=np.int32)
+            last_at[dense] = idx
+            live = np.flatnonzero(last_at >= 0)
+            if live.shape[0] <= ways:
+                hits[:] = (idx > first_at[dense])[n0:]
+                recency = live[np.argsort(last_at[live])]  # LRU -> MRU
+                bucket = buckets[int(set_indices[0]) & mask]
+                resident = dict(bucket)
+                bucket.clear()
+                for k in (recency + min_key).tolist():
+                    key = int(k)
+                    if tag and key >> TAG_SHIFT != tag:
+                        bucket[key] = resident[key]
+                    elif key in resident:
+                        bucket[key] = resident[key]
+                    else:
+                        bucket[key] = value_of(
+                            key & KEY_MASK if tag else key)
+                return hits
+        g_pos = idx
+        g_keys = all_keys
+        g_sets = np.zeros(1, dtype=np.int64)
+        seg_bounds = np.zeros(1, dtype=np.int32)
+        seg_start = np.int32(0)
+    else:
+        # Group by set, preserving order within each set.
+        if n0:
+            all_sets = np.concatenate(
+                [np.asarray(pre_sets, dtype=np.int64), set_indices & mask])
+        else:
+            all_sets = set_indices & mask
+        g_sets, g_pos = _sort_with_positions(all_sets, mask)
+        g_keys = all_keys[g_pos]
+        seg_bounds = np.flatnonzero(
+            np.r_[True, g_sets[1:] != g_sets[:-1]]).astype(np.int32)
+        seg_sizes = np.diff(np.append(seg_bounds, np.int32(total)))
+        seg_start = np.repeat(seg_bounds, seg_sizes)
 
     # prev[i]: grouped position of the previous access to the same key
     # (-1 if none).  Same key implies same set, so linking over the
@@ -276,37 +349,80 @@ def simulate_block(tlb, set_indices: np.ndarray, keys: np.ndarray, value_of):
         s_keys[1:] == s_keys[:-1], s_pos[:-1], np.int32(-1))
     prev[s_pos[0]] = -1
 
-    idx = np.arange(total, dtype=np.int32)
     gap = idx - prev
-    certain_hit = (prev >= 0) & (gap <= ways)
-    # Windowed max of prev over the last `ways` positions: if every one
-    # of those accesses saw its key for the first time since before the
-    # window, they are `ways` pairwise-distinct keys, all different
-    # from key i (whose own prev is older still) — a certain eviction.
-    w_start = idx - np.int32(ways)
-    w_max = np.full(total, -1, dtype=np.int32)
-    if ways > 4 and total > ways:
-        # van Herk / Gil-Werman: sliding-window max in three passes
-        # (block prefix/suffix maxima) instead of `ways` shifted passes.
-        # -1 padding is neutral (prev >= -1 everywhere).
-        pad = (-total) % ways
-        padded = (np.concatenate([prev, np.full(pad, -1, dtype=np.int32)])
-                  if pad else prev)
-        blocks = padded.reshape(-1, ways)
-        prefix = np.maximum.accumulate(blocks, axis=1).ravel()
-        suffix = np.maximum.accumulate(
-            blocks[:, ::-1], axis=1)[:, ::-1].ravel()
-        # max over the closed window [j - ways + 1, j] ...
-        win = np.maximum(suffix[:total - ways + 1], prefix[ways - 1:total])
-        # ... shifted so w_max[i] covers [i - ways, i - 1].
-        w_max[ways:] = win[:total - ways]
+    # The sorted keys are already in hand, so the stream's distinct-key
+    # count is one comparison pass.  When every key fits in one set
+    # (per-set distinct can only be smaller) nothing is ever evicted:
+    # every revisit hits, every first sight misses, and the whole
+    # certify/resolve machinery below is skipped — the common shape for
+    # the upper page-walk-cache levels, whose tag space is tiny.
+    distinct_total = 1 + int(np.count_nonzero(s_keys[1:] != s_keys[:-1]))
+    if distinct_total <= ways:
+        g_hits = prev >= 0
+        unresolved = np.empty(0, dtype=np.int32)
     else:
-        for w in range(1, ways + 1):
-            np.maximum(w_max[w:], prev[:-w], out=w_max[w:])
-    certain_miss = (prev < 0) | (
-        (gap > ways) & (w_start >= seg_start) & (w_max < w_start))
+        certain_hit = (prev >= 0) & (gap <= ways)
+        # Windowed max of prev over the last `ways` positions: if every
+        # one of those accesses saw its key for the first time since
+        # before the window, they are `ways` pairwise-distinct keys, all
+        # different from key i (whose own prev is older still) — a
+        # certain eviction.
+        w_start = idx - np.int32(ways)
+        w_max = np.full(total, -1, dtype=np.int32)
+        if ways > 4 and total > ways:
+            # van Herk / Gil-Werman: sliding-window max in three passes
+            # (block prefix/suffix maxima) instead of `ways` shifted
+            # passes.  -1 padding is neutral (prev >= -1 everywhere).
+            pad = (-total) % ways
+            padded = (np.concatenate([prev, np.full(pad, -1, dtype=np.int32)])
+                      if pad else prev)
+            blocks = padded.reshape(-1, ways)
+            prefix = np.maximum.accumulate(blocks, axis=1).ravel()
+            suffix = np.maximum.accumulate(
+                blocks[:, ::-1], axis=1)[:, ::-1].ravel()
+            # max over the closed window [j - ways + 1, j] ...
+            win = np.maximum(suffix[:total - ways + 1], prefix[ways - 1:total])
+            # ... shifted so w_max[i] covers [i - ways, i - 1].
+            w_max[ways:] = win[:total - ways]
+        else:
+            for w in range(1, ways + 1):
+                np.maximum(w_max[w:], prev[:-w], out=w_max[w:])
+        certain_miss = (prev < 0) | (
+            (gap > ways) & (w_start >= seg_start) & (w_max < w_start))
 
-    g_hits = certain_hit
+        g_hits = certain_hit
+        unresolved = np.flatnonzero(
+            ~(certain_hit | certain_miss)).astype(np.int32)
+
+    # Multi-scale miss certification for the survivors: for a fixed
+    # width w, an access j with prev[j] < j - w inside the window
+    # (p, p + w] is a first occurrence after p = prev[i] (j <= p + w
+    # forces prev[j] <= p), so counting them — one boolean pass and one
+    # prefix sum, shared by every unresolved access — lower-bounds the
+    # distinct keys strictly inside (p, i), none of which is key i.
+    # `ways` of them certify the eviction.  High-turnover single-set
+    # streams (the PD page-walk cache: hundreds of hot tags through 32
+    # ways) land almost entirely here instead of on the quadratic
+    # resolver below.
+    for width in (2 * ways, 4 * ways):
+        # Each width pass costs O(total); below this population the
+        # windowed matrix resolver is cheaper outright.
+        if unresolved.size * 2 * ways <= total or width >= total:
+            break
+        p = prev[unresolved]
+        in_span = (unresolved - p) > width        # window fits in (p, i)
+        if not in_span.any():
+            break
+        fresh = prev < (idx - np.int32(width))
+        first_seen = np.empty(total + 1, dtype=np.int32)
+        first_seen[0] = 0
+        np.cumsum(fresh, out=first_seen[1:])
+        hi = np.minimum(p + np.int32(width + 1), np.int32(total))
+        certified = in_span & (
+            (first_seen[hi] - first_seen[p + 1]) >= ways)
+        if certified.any():
+            unresolved = unresolved[~certified]
+
     # Exact resolution of the remainder: key i survives iff fewer than
     # `ways` distinct keys were accessed since its previous occurrence.
     # Resolved in vectorised rounds over each unresolved access's
@@ -318,8 +434,7 @@ def simulate_block(tlb, set_indices: np.ndarray, keys: np.ndarray, value_of):
     # whole (prev, i) range is a hit; anything still open re-runs with
     # a wider window (the population shrinks geometrically, so a
     # handful of rounds suffice).
-    unresolved = np.flatnonzero(~(certain_hit | certain_miss)).astype(np.int32)
-    length = max(ways, 2)
+    length = 2 * ways
     while unresolved.size:
         p = prev[unresolved]
         span = unresolved - p - 1          # positions strictly inside (p, i)
@@ -327,13 +442,8 @@ def simulate_block(tlb, set_indices: np.ndarray, keys: np.ndarray, value_of):
         lo = unresolved - take
         offs = np.arange(1, length + 1, dtype=np.int32)
         pos = unresolved[:, None] - offs[None, :]
-        if length == max(ways, 2):
-            # First round: span >= ways everywhere (gap > ways), so the
-            # window never needs masking.
-            distinct = (prev[pos] < lo[:, None]).sum(axis=1)
-        else:
-            distinct = ((prev[np.maximum(pos, 0)] < lo[:, None])
-                        & (offs[None, :] <= take[:, None])).sum(axis=1)
+        distinct = ((prev[np.maximum(pos, 0)] < lo[:, None])
+                    & (offs[None, :] <= take[:, None])).sum(axis=1)
         is_miss = distinct >= ways
         is_hit = ~is_miss & (take == span)
         g_hits[unresolved[is_hit]] = True
@@ -348,7 +458,9 @@ def simulate_block(tlb, set_indices: np.ndarray, keys: np.ndarray, value_of):
             break
 
     # Scatter hits back to the caller's positions (prefix rows drop).
-    if n0:
+    if mask == 0:
+        hits[:] = g_hits[n0:]          # grouping was the identity
+    elif n0:
         orig = g_pos.astype(np.int64) - n0
         live = orig >= 0
         hits[orig[live]] = g_hits[live]

@@ -528,6 +528,20 @@ def simulate_fleet(
                     machine.l2_1g.entries, machine.l2_1g.ways
                 )
                 structures.append(shared["l2_giga"])
+            regular = getattr(s, "regular", None)
+            if isinstance(regular, SetAssociativeTLB):
+                # Cluster schemes: the statically partitioned L2.
+                # Tenants keep their own ClusterTLB wrapper around one
+                # shared physical array (the AnchorL2TLB pattern).
+                shared["cluster_regular"] = SetAssociativeTLB(
+                    regular.entries, regular.ways
+                )
+                structures.append(shared["cluster_regular"])
+                carray = s.clustered.array
+                shared["cluster_array"] = SetAssociativeTLB(
+                    carray.entries, carray.ways
+                )
+                structures.append(shared["cluster_array"])
             allocator = _AsidAllocator(structures, bits=asid_bits)
         s.l1 = shared["l1"]
         if s.pwc is not None and "pwc" in shared:
@@ -539,6 +553,9 @@ def simulate_fleet(
             s.l2 = shared["l2"]
         if "l2_giga" in shared and getattr(s, "l2_giga", None) is not None:
             s.l2_giga = shared["l2_giga"]
+        if "cluster_regular" in shared and getattr(s, "regular", None) is not None:
+            s.regular = shared["cluster_regular"]
+            s.clustered.array = shared["cluster_array"]
 
     previous: TenantRun | None = None
     waves = 0

@@ -327,3 +327,72 @@ class MemoryMapping:
             if chunk.vpn <= vpn < chunk.end_vpn:
                 return chunk
         return None
+
+
+def cluster_slot_offsets(
+    sorted_vpns: np.ndarray,
+    sorted_pfns: np.ndarray,
+    vpns: np.ndarray,
+    pfns: np.ndarray,
+    shift: int = 3,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The cluster entry a walk at each ``vpns[i]`` would build.
+
+    The cluster-TLB fill logic (Fig. 2's HW-coalescing baseline)
+    inspects the missing page's PTE cache line — the ``2**shift``
+    pages sharing its virtual cluster — and records which of those
+    slots translate into the *same physical cluster* as the missing
+    page itself.  Returns ``(coverage, offsets)``: ``coverage[i]`` is
+    the number of covered slots (always >= 1, the missing page counts),
+    and ``offsets[i, j]`` is slot ``j``'s offset within the physical
+    cluster, or -1 when the slot is unmapped or lands elsewhere.
+
+    The decomposition is static per mapping version — it depends only
+    on the page table, never on TLB state — which is what lets the
+    batched cluster fast path classify every miss up front: a page with
+    ``coverage == 1`` can only ever fill (and hit) the regular side,
+    one with ``coverage > 1`` only the clustered side.
+
+    ``sorted_vpns``/``sorted_pfns`` are the parallel sorted page-table
+    arrays (``FrozenMapping.vpns``/``.pfns``, or the promotion split's
+    small-page view); ``pfns[i]`` must be ``vpns[i]``'s translation.
+    """
+    factor = 1 << shift
+    slot_mask = factor - 1
+    # The decomposition is a pure function of the probed VPN, so
+    # repeated probes (temporal locality in the miss stream) collapse
+    # to one slot-scan each and scatter back through the inverse.
+    unique_vpns, first, inverse = np.unique(
+        vpns, return_index=True, return_inverse=True)
+    if unique_vpns.shape[0] < vpns.shape[0]:
+        coverage, offsets = cluster_slot_offsets(
+            sorted_vpns, sorted_pfns, unique_vpns, pfns[first], shift=shift)
+        return coverage[inverse], offsets[inverse]
+    pcluster = pfns >> shift
+    slot_vpns = (
+        ((vpns >> shift) << shift)[:, None]
+        + np.arange(factor, dtype=np.int64)
+    ).ravel()
+    count = sorted_vpns.size
+    if count and int(sorted_vpns[-1]) - int(sorted_vpns[0]) + 1 == count:
+        # Contiguous VPN space: membership is a range test and the
+        # slot PFNs come from one fancy gather instead of a
+        # searchsorted over eight probes per miss.
+        base = np.int64(sorted_vpns[0])
+        found = (slot_vpns >= base) & (slot_vpns < base + count)
+        idx = np.where(found, slot_vpns - base, np.int64(0))
+        slot_pfns = sorted_pfns[idx].reshape(-1, factor)
+        found = found.reshape(-1, factor)
+    elif count:
+        idx = np.searchsorted(sorted_vpns, slot_vpns)
+        idx[idx == count] = 0
+        found = sorted_vpns[idx] == slot_vpns
+        slot_pfns = sorted_pfns[idx].reshape(-1, factor)
+        found = found.reshape(-1, factor)
+    else:
+        found = np.zeros((vpns.shape[0], factor), dtype=bool)
+        slot_pfns = np.zeros((vpns.shape[0], factor), dtype=np.int64)
+    valid = found & ((slot_pfns >> shift) == pcluster[:, None])
+    coverage = valid.sum(axis=1)
+    offsets = np.where(valid, slot_pfns & slot_mask, np.int64(-1))
+    return coverage, offsets

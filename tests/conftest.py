@@ -14,6 +14,19 @@ from repro.vmos.scenarios import build_mapping
 from repro.vmos.vma import VMA, AllocationSite, layout_vmas
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--refresh-golden", action="store_true", default=False,
+        help="regenerate the checked-in golden stats corpus under "
+             "tests/golden/ instead of comparing against it",
+    )
+
+
+@pytest.fixture(scope="session")
+def refresh_golden(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--refresh-golden"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return make_rng(7)

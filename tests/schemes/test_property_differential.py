@@ -137,6 +137,55 @@ class TestRandomMappingDifferential:
         assert outputs[0] == outputs[1]
         assert (fault_at is None) == (outputs[0]["faulted"] is None)
 
+    @pytest.mark.parametrize(
+        "scheme_name", ("colt", "cluster", "cluster2mb", "base", "thp"))
+    @given(data=mapping_and_trace(), pwc=st.booleans(),
+           asid=st.integers(1, 7),
+           cuts=st.lists(st.integers(1, 119), max_size=4, unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_batched_matches_scalar_tagged_chunked(
+            self, scheme_name, data, pwc, asid, cuts):
+        """Tag-safe schemes under a nonzero ASID, with the trace split at
+        arbitrary chunk boundaries: every ``access_block`` call starts
+        from whatever state the previous chunk left (snapshots, per-set
+        LRU order, PWC levels) and must still replay bit-identically —
+        tag-packed keys and all."""
+        import dataclasses
+
+        mapping, trace = data
+        machine = dataclasses.replace(TINY, pwc=True) if pwc else TINY
+        bounds = sorted(c for c in cuts if c < len(trace))
+        chunks = np.split(np.asarray(trace, dtype=np.int64),
+                          bounds) if trace else []
+        outputs = []
+        for mode in ("scalar", "batched"):
+            scheme = make_scheme(scheme_name, mapping, machine)
+            assert scheme.tag_safe_block
+            scheme.set_asid(asid)
+            scheme.sync_mapping()
+            if mode == "scalar":
+                for vpn in trace:
+                    scheme.access(vpn)
+            else:
+                for chunk in chunks:
+                    if chunk.size:
+                        scheme.access_block(chunk)
+            state = {
+                "stats": scheme.stats.snapshot(),
+                "l1": scheme.l1.state(),
+            }
+            for attr in ("l2", "regular"):
+                obj = getattr(scheme, attr, None)
+                if obj is not None and hasattr(obj, "state"):
+                    state[attr] = obj.state()
+            if hasattr(scheme, "clustered"):
+                state["clustered"] = scheme.clustered.array.state()
+            if scheme.pwc is not None:
+                state["pwc"] = (scheme.pwc.state(), scheme.pwc.hits,
+                                scheme.pwc.probes)
+            outputs.append(state)
+        assert outputs[0] == outputs[1]
+
     @given(data=mapping_and_trace())
     @settings(max_examples=20, deadline=None)
     def test_miss_counts_bounded_by_baseline_plus_conflicts(self, data):

@@ -172,6 +172,54 @@ class TestGoldenParity:
             outputs[engine] = (scheme.stats.snapshot(), hw_state(scheme))
         assert outputs["batched"] == outputs["scalar"]
 
+    @settings(max_examples=12, deadline=None)
+    @given(
+        epoch=st.integers(min_value=1, max_value=6001),
+        scheme_name=st.sampled_from(sorted(OPTIMIZED)),
+    )
+    def test_arbitrary_epoch_boundaries(self, epoch, scheme_name):
+        """Chunking must be invisible: any epoch size — from one
+        reference per block to the whole trace in one block — produces
+        the same final counters and hardware state as the scalar run."""
+        from repro.params import MachineConfig, TLBGeometry
+
+        tiny_machine = MachineConfig(
+            l1_4k=TLBGeometry(8, 2),
+            l1_2m=TLBGeometry(4, 2),
+            l2=TLBGeometry(32, 4),
+        )
+        mapping = build_mapping(parity_vmas(), "demand", seed=53)
+        trace = mapped_trace(mapping, 3000, seed=59)
+        outputs = {}
+        for engine, e in (("scalar", 3000), ("batched", epoch)):
+            scheme, _ = run_engine(
+                scheme_name, mapping, trace, tiny_machine, engine, epoch=e)
+            outputs[engine] = (scheme.stats.snapshot(), hw_state(scheme))
+        assert outputs["batched"] == outputs["scalar"]
+
+    @pytest.mark.parametrize("scheme_name",
+                             [n for n in sorted(OPTIMIZED)
+                              if make_scheme(
+                                  n,
+                                  build_mapping(parity_vmas(), "low", seed=3),
+                              ).tag_safe_block])
+    def test_tagged_parity(self, scheme_name, tiny_machine):
+        """Tag-safe schemes under a nonzero ASID: the batched engine
+        must pack the tag into every structure exactly as the scalar
+        path does — counters and per-set (tagged) LRU state match."""
+        machine = dataclasses.replace(tiny_machine, pwc=True)
+        mapping = build_mapping(parity_vmas(), "demand", seed=61)
+        trace = mapped_trace(mapping, 6000, seed=67)
+        outputs = {}
+        for engine in ("scalar", "batched"):
+            scheme = make_scheme(scheme_name, mapping, machine)
+            scheme.set_asid(5)
+            result = simulate(scheme, trace, epoch_references=2500,
+                              engine=engine)
+            outputs[engine] = (
+                scheme.stats.snapshot(), result.epoch_stats, hw_state(scheme))
+        assert outputs["batched"] == outputs["scalar"]
+
     @settings(max_examples=15, deadline=None)
     @given(
         seed=st.integers(min_value=0, max_value=10_000),

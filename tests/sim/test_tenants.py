@@ -202,10 +202,24 @@ class TestTaggedDifferential:
         assert TAG_BITS >= 8
 
     def test_unsafe_scheme_rejects_asid(self, medium_mapping):
-        scheme = make_scheme("cluster", medium_mapping)
+        scheme = make_scheme("rmm", medium_mapping)
         assert not scheme.tag_safe_block
         with pytest.raises(ValueError):
             scheme.set_asid(1)
+
+    @pytest.mark.parametrize("name", ["cluster", "cluster2mb", "colt"])
+    def test_coalescing_schemes_accept_asid(self, medium_mapping, name):
+        """The HW-coalescing schemes' block fast paths are tag-aware:
+        ``set_asid`` must tag every array the fast path touches."""
+        scheme = make_scheme(name, medium_mapping)
+        assert scheme.tag_safe_block
+        scheme.set_asid(3)
+        assert scheme.l1.small.tag == 3
+        if name == "colt":
+            assert scheme.l2.tag == 3
+        else:
+            assert scheme.regular.tag == 3
+            assert scheme.clustered.array.tag == 3
 
 
 class TestTaggedIsolationAndContention:
@@ -296,12 +310,49 @@ class TestFleet:
         fleet = TenantFleet(size=2, workloads=("gups",),
                             scenarios=("medium",), references=500, seed=1)
         with pytest.raises(ValueError, match="tag_safe_block"):
-            simulate_fleet(fleet, scheme="cluster", policy="tagged",
+            simulate_fleet(fleet, scheme="rmm", policy="tagged",
                            quantum=200, active_pool=2)
         # ...but flush-policy fleets may use any scheme.
-        result = simulate_fleet(fleet, scheme="cluster", policy="flush",
+        result = simulate_fleet(fleet, scheme="rmm", policy="flush",
                                 quantum=200, active_pool=2)
         assert result.executed == 1000
+
+    @pytest.mark.parametrize("name", ["cluster", "cluster2mb", "colt"])
+    def test_coalescing_schemes_admitted_to_tagged_fleet(self, name):
+        """The schemes that flipped ``tag_safe_block`` run under
+        ``policy="tagged"`` and share one physical hierarchy."""
+        fleet = TenantFleet(size=2, workloads=("gups",),
+                            scenarios=("medium",), references=500, seed=1)
+        result = simulate_fleet(fleet, scheme=name, policy="tagged",
+                                quantum=200, active_pool=2)
+        assert result.executed == 1000
+        assert result.stats.accesses == 1000
+
+    @pytest.mark.parametrize("name", ["cluster", "cluster2mb", "colt"])
+    def test_tagged_matches_flush_on_exhaustive_quanta(self, name):
+        """With the quantum covering a tenant's whole trace, each tenant
+        runs exactly once from a cold start: foreign-tag entries never
+        match its lookups and nothing intervenes between its accesses,
+        so the shared tagged hierarchy must reproduce the per-tenant
+        flush stats counter for counter."""
+        fleet = TenantFleet(size=2, workloads=("gups",),
+                            scenarios=("medium", "high"), references=800,
+                            seed=13)
+        runs = {
+            policy: simulate_fleet(fleet, scheme=name, policy=policy,
+                                   quantum=800, active_pool=2)
+            for policy in ("tagged", "flush")
+        }
+        tagged = runs["tagged"].per_tenant
+        flush = runs["flush"].per_tenant
+        assert tagged is not None and flush is not None
+        assert len(tagged) == len(flush) == 2
+        for t_row, f_row in zip(tagged, flush):
+            # The ASID is scheduler bookkeeping (tagged allocates real
+            # tags, flush leaves 0); every translation counter must match.
+            t_row = {k: v for k, v in t_row.items() if k != "asid"}
+            f_row = {k: v for k, v in f_row.items() if k != "asid"}
+            assert t_row == f_row
 
 
 class TestAsidAllocator:
