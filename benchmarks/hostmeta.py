@@ -1,0 +1,47 @@
+"""Host metadata for benchmark envelopes.
+
+Benchmark JSON files (``BENCH_engine.json``, ``BENCH_fleet.json``) are
+committed as a trajectory across PRs, but wall-clock numbers only
+compare when the host is known — a 1-core CI runner and an 8-core
+workstation legitimately disagree by 8x.  ``host_metadata()`` captures
+the comparison context once, in one shape, for every bench.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+
+import numpy as np
+
+
+def _git_commit() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except OSError:
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+def host_metadata() -> dict:
+    """The envelope's ``host`` block: toolchain, CPU budget, commit."""
+    try:
+        usable_cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        usable_cpus = os.cpu_count() or 1
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable_cpus,
+        "commit": _git_commit(),
+    }

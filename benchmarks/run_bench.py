@@ -89,8 +89,11 @@ def main() -> None:
     trace = workload.make_trace(args.references, seed=TRACE_SEED)
     trace_seconds = time.perf_counter() - start
 
+    from hostmeta import host_metadata
+
     results = {"workload": "gups", "scenario": "demand",
                "mapping_seed": MAPPING_SEED, "trace_seed": TRACE_SEED,
+               "host": host_metadata(),
                "trace_generation_seconds": round(trace_seconds, 4),
                "trace_refs_per_sec": round(args.references / trace_seconds),
                "schemes": {}}

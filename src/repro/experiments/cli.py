@@ -235,13 +235,18 @@ def main(argv: list[str] | None = None) -> int:
     if argv[:1] == ["submit"]:
         from repro.service.client import submit_main
         return submit_main(argv[1:])
+    if argv[:1] == ["fleet"]:
+        # Sharded fleet runs (million-tenant scale) own their flags.
+        from repro.experiments.fleet import fleet_main
+        return fleet_main(argv[1:])
     names = _SPECIAL + sorted(_MATRIX_EXPERIMENTS)
     parser = argparse.ArgumentParser(
         prog="anchor-tlb",
         description="Hybrid TLB Coalescing (ISCA'17) reproduction "
                     "experiments; 'anchor-tlb check' runs the static-"
                     "analysis gate, 'anchor-tlb serve' / 'anchor-tlb "
-                    "submit' run the shared simulation service "
+                    "submit' run the shared simulation service, "
+                    "'anchor-tlb fleet' runs sharded fleet simulations "
                     "(see each subcommand's --help)",
     )
     parser.add_argument("experiment", choices=names + ["all"])

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import socket
+import time
 from collections.abc import Iterator
 
 from repro.sim.api import SimReply, SimRequest
@@ -20,11 +21,37 @@ __all__ = ["submit", "submit_and_wait", "status", "drain", "submit_main"]
 _TERMINAL = ("result", "error", "rejected")
 
 
+def _connect(
+    host: str, port: int, timeout: float,
+    retries: int = 0, retry_delay: float = 0.2,
+) -> socket.socket:
+    """Connect, retrying with exponential backoff on refusal.
+
+    A cold server (``anchor-tlb serve`` still binding) refuses the
+    first connection; ``retries`` attempts after the first, with the
+    delay doubling each time, let pipelines start client and server
+    together.  Only *connect* failures retry — once the socket is up,
+    errors propagate normally.
+    """
+    attempt = 0
+    delay = retry_delay
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=timeout)
+        except OSError:
+            if attempt >= retries:
+                raise
+            attempt += 1
+            time.sleep(delay)
+            delay *= 2
+
+
 def _request_lines(
-    message: dict, host: str, port: int, timeout: float
+    message: dict, host: str, port: int, timeout: float,
+    retries: int = 0, retry_delay: float = 0.2,
 ) -> Iterator[dict]:
     """Send one op; yield response envelopes until the exchange ends."""
-    with socket.create_connection((host, port), timeout=timeout) as sock:
+    with _connect(host, port, timeout, retries, retry_delay) as sock:
         stream = sock.makefile("rwb")
         stream.write(json.dumps(message).encode("utf-8") + b"\n")
         stream.flush()
@@ -40,15 +67,19 @@ def submit(
     host: str,
     port: int,
     timeout: float = 600.0,
+    retries: int = 0,
+    retry_delay: float = 0.2,
 ) -> Iterator[dict]:
     """Submit ``request``; yield every envelope as it arrives.
 
     The stream ends with a ``result``, ``error``, or ``rejected``
     envelope; ``epoch`` envelopes arrive in between for simulation
-    payloads.
+    payloads.  ``retries``/``retry_delay`` cover a cold server (see
+    :func:`_connect`).
     """
     message = {"op": "submit", "request": request.to_dict()}
-    for envelope in _request_lines(message, host, port, timeout):
+    for envelope in _request_lines(message, host, port, timeout,
+                                   retries, retry_delay):
         yield envelope
         if envelope.get("event") in _TERMINAL:
             return
@@ -59,6 +90,8 @@ def submit_and_wait(
     host: str,
     port: int,
     timeout: float = 600.0,
+    retries: int = 0,
+    retry_delay: float = 0.2,
 ) -> tuple[SimReply, list[dict]]:
     """Submit and block for the reply.
 
@@ -66,23 +99,28 @@ def submit_and_wait(
     the request was rejected or errored — the offending envelope is in
     the exception args.
     """
-    envelopes = list(submit(request, host, port, timeout))
+    envelopes = list(submit(request, host, port, timeout,
+                            retries, retry_delay))
     last = envelopes[-1] if envelopes else {"event": "error", "error": "no response"}
     if last.get("event") != "result":
         raise RuntimeError(f"request {request.label()} failed", last)
     return SimReply.from_dict(last["reply"]), envelopes
 
 
-def status(host: str, port: int, timeout: float = 30.0) -> dict:
+def status(host: str, port: int, timeout: float = 30.0,
+           retries: int = 0, retry_delay: float = 0.2) -> dict:
     """The service's metrics/queue snapshot."""
-    for envelope in _request_lines({"op": "status"}, host, port, timeout):
+    for envelope in _request_lines({"op": "status"}, host, port, timeout,
+                                   retries, retry_delay):
         return envelope
     raise RuntimeError("no status response")
 
 
-def drain(host: str, port: int, timeout: float = 600.0) -> dict:
+def drain(host: str, port: int, timeout: float = 600.0,
+          retries: int = 0, retry_delay: float = 0.2) -> dict:
     """Gracefully drain the service; returns the final metrics."""
-    for envelope in _request_lines({"op": "drain"}, host, port, timeout):
+    for envelope in _request_lines({"op": "drain"}, host, port, timeout,
+                                   retries, retry_delay):
         return envelope
     raise RuntimeError("no drain response")
 
@@ -125,14 +163,26 @@ def submit_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--storm-every", type=int, default=0)
     parser.add_argument("--storm-quantum", type=int, default=0)
     parser.add_argument("--mapping-variants", type=int, default=1)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="deterministic fleet shard count")
+    parser.add_argument("--fleet-workers", type=int, default=0,
+                        help="shard pool size (0 = serial; result-identical)")
+    parser.add_argument("--trace-variants", type=int, default=0,
+                        help="bounded per-workload trace pool (0 = unbounded)")
     parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("--retries", type=int, default=0,
+                        help="connect retries (exponential backoff)")
+    parser.add_argument("--retry-delay", type=float, default=0.2,
+                        help="initial backoff delay in seconds")
     args = parser.parse_args(argv)
 
     if args.op == "status":
-        print(json.dumps(status(args.host, args.port)))
+        print(json.dumps(status(args.host, args.port, retries=args.retries,
+                                retry_delay=args.retry_delay)))
         return 0
     if args.op == "drain":
-        print(json.dumps(drain(args.host, args.port)))
+        print(json.dumps(drain(args.host, args.port, retries=args.retries,
+                               retry_delay=args.retry_delay)))
         return 0
 
     from repro.sim.api import TenancyConfig
@@ -150,6 +200,9 @@ def submit_main(argv: list[str] | None = None) -> int:
             storm_every=args.storm_every,
             storm_quantum=args.storm_quantum,
             mapping_variants=args.mapping_variants,
+            shards=args.shards,
+            trace_variants=args.trace_variants,
+            workers=args.fleet_workers,
         )
     request = SimRequest(
         workload=args.workload,
@@ -166,7 +219,9 @@ def submit_main(argv: list[str] | None = None) -> int:
         tenancy=tenancy,
     )
     ended_ok = False
-    for envelope in submit(request, args.host, args.port, timeout=args.timeout):
+    for envelope in submit(request, args.host, args.port,
+                           timeout=args.timeout, retries=args.retries,
+                           retry_delay=args.retry_delay):
         print(json.dumps(envelope))
         ended_ok = envelope.get("event") == "result"
     sys.stdout.flush()

@@ -292,6 +292,17 @@ class SimService:
 
     async def _execute(self, request: SimRequest) -> dict:
         loop = asyncio.get_running_loop()
+        parallel_fleet = (
+            request.kind == "fleet"
+            and request.tenancy is not None
+            and request.tenancy.workers > 0
+        )
+        if parallel_fleet:
+            # A sharded fleet brings its own ProcessPoolExecutor; run it
+            # from the service parent (a thread, not a warm worker) so
+            # its shard pool forks directly rather than nesting inside a
+            # single pool slot.
+            return await asyncio.to_thread(execute_request, request)
         if self._pool is not None:
             return await loop.run_in_executor(
                 self._pool, execute_request, request

@@ -131,10 +131,20 @@ class TenancyConfig:
     asid_bits: int = TAG_BITS
     workloads: tuple[str, ...] = ()
     scenarios: tuple[str, ...] = ()
+    shards: int = 1
+    trace_variants: int = 0
+    workers: int = 0
 
     def describe(self) -> dict:
-        """Canonical (hashed) content of this config."""
-        return {
+        """Canonical (hashed) content of this config.
+
+        ``shards`` and ``trace_variants`` enter the hash only when
+        non-default, so every pre-sharding fleet key survives verbatim.
+        ``workers`` never enters: a shard's outcome is byte-identical
+        under any worker count, so the worker count is an execution
+        knob (see :class:`SimRequest`), not result content.
+        """
+        payload = {
             "tenants": self.tenants,
             "policy": self.policy,
             "quantum": self.quantum,
@@ -146,9 +156,19 @@ class TenancyConfig:
             "workloads": list(self.workloads),
             "scenarios": list(self.scenarios),
         }
+        if self.shards != 1:
+            payload["shards"] = self.shards
+        if self.trace_variants != 0:
+            payload["trace_variants"] = self.trace_variants
+        return payload
 
     def to_dict(self) -> dict:
-        return self.describe()
+        """Full wire form (round-trips every field, unlike the hash)."""
+        payload = self.describe()
+        payload["shards"] = self.shards
+        payload["trace_variants"] = self.trace_variants
+        payload["workers"] = self.workers
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "TenancyConfig":
@@ -163,6 +183,9 @@ class TenancyConfig:
             asid_bits=int(data["asid_bits"]),
             workloads=tuple(data["workloads"]),
             scenarios=tuple(data["scenarios"]),
+            shards=int(data.get("shards", 1)),
+            trace_variants=int(data.get("trace_variants", 0)),
+            workers=int(data.get("workers", 0)),
         )
 
 
@@ -297,6 +320,29 @@ class SimReply:
 # ---------------------------------------------------------------------------
 
 
+def fleet_for(request: SimRequest) -> "Any":
+    """The :class:`~repro.sim.tenants.TenantFleet` a fleet request names.
+
+    One construction point keeps the request → fleet translation
+    identical everywhere it is needed (execution, parent-side trace
+    pre-generation, benchmarks).
+    """
+    from repro.sim.tenants import TenantFleet
+
+    tenancy = request.tenancy
+    if request.kind != "fleet" or tenancy is None:
+        raise OrchestrationError('fleet_for needs kind="fleet" with tenancy')
+    return TenantFleet(
+        size=tenancy.tenants,
+        workloads=tenancy.workloads or (request.workload,),
+        scenarios=tenancy.scenarios or (request.scenario,),
+        references=request.references,
+        seed=request.seed,
+        mapping_variants=tenancy.mapping_variants,
+        trace_variants=tenancy.trace_variants,
+    )
+
+
 def execute_request(request: SimRequest) -> dict:
     """Compute one request's JSON payload (the universal entry point).
 
@@ -316,18 +362,17 @@ def execute_request(request: SimRequest) -> dict:
         distance = select_distance(contiguity_histogram(mapping))
         return {"distance": int(distance)}
     if request.kind == "fleet":
-        from repro.sim.tenants import TenantFleet, simulate_fleet
+        from repro.sim.tenants import simulate_fleet
 
         tenancy = request.tenancy
         if tenancy is None:
             raise OrchestrationError('kind="fleet" requires a tenancy config')
-        fleet = TenantFleet(
-            size=tenancy.tenants,
-            workloads=tenancy.workloads or (request.workload,),
-            scenarios=tenancy.scenarios or (request.scenario,),
-            references=request.references,
-            seed=request.seed,
-            mapping_variants=tenancy.mapping_variants,
+        fleet = fleet_for(request)
+        # Zero-copy traces only make sense when the fleet's distinct
+        # trace set is bounded (trace_variants); otherwise a store
+        # would persist one file per tenant.
+        store = (
+            runner._WORKER_TRACE_STORE if tenancy.trace_variants > 0 else None
         )
         result = simulate_fleet(
             fleet,
@@ -339,6 +384,9 @@ def execute_request(request: SimRequest) -> dict:
             storm_every=tenancy.storm_every,
             storm_quantum=tenancy.storm_quantum,
             asid_bits=tenancy.asid_bits,
+            shards=tenancy.shards,
+            workers=tenancy.workers,
+            trace_store=store,
         )
         return result.to_dict()
     if request.kind != "simulate":

@@ -557,6 +557,19 @@ class Orchestrator:
         seconds_before = store.generation_seconds
         done: set[str] = set()
         for spec in pending:
+            if (
+                spec.kind == "fleet"
+                and spec.tenancy is not None
+                and spec.tenancy.trace_variants > 0
+            ):
+                # A bounded-trace-pool fleet reads zero-copy from the
+                # store; pre-generate its distinct traces here so every
+                # shard worker mmap-hits.
+                from repro.sim.api import fleet_for
+                from repro.sim.tenants import prepare_fleet_traces
+
+                prepare_fleet_traces(fleet_for(spec), store)
+                continue
             if spec.kind != "simulate":
                 continue
             trace_key = store.key(spec.workload, spec.references, spec.seed)

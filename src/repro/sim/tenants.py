@@ -50,6 +50,7 @@ from repro.hw.l1 import L1TLB
 from repro.hw.tlb import TAG_BITS, SetAssociativeTLB
 from repro.sim.multiprog import MultiProgramResult, ProcessRun
 from repro.sim.stats import COUNTER_FIELDS, TranslationStats
+from repro.sim.trace_store import TraceStore
 from repro.util.proc import peak_rss_bytes
 from repro.util.rng import spawn_rng
 from repro.vmos.distance import DistanceRegisterFile
@@ -306,6 +307,11 @@ class TenantFleet:
     per (workload, scenario) cell: tenants sharing a variant share the
     *mapping archetype* (and the construction cost), while still
     receiving independent reference streams via per-tenant trace seeds.
+    ``trace_variants`` optionally bounds the per-tenant trace seeds to a
+    pool of that many values: tenants drawing the same pool entry replay
+    byte-identical traces, which is what lets a :class:`TraceStore`
+    serve the whole fleet zero-copy from ``workloads x trace_variants``
+    mmap-shared files (0 keeps today's one-seed-per-tenant sampling).
     """
 
     size: int
@@ -316,6 +322,7 @@ class TenantFleet:
     mapping_variants: int = 1
     workload_weights: tuple[float, ...] | None = None
     scenario_weights: tuple[float, ...] | None = None
+    trace_variants: int = 0
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -328,13 +335,21 @@ class TenantFleet:
             raise ValueError("references must be positive")
         if self.mapping_variants <= 0:
             raise ValueError("mapping_variants must be positive")
+        if self.trace_variants < 0:
+            raise ValueError("trace_variants must be >= 0")
         _normalise_weights(self.workload_weights, len(self.workloads),
                            "workload_weights")
         _normalise_weights(self.scenario_weights, len(self.scenarios),
                            "scenario_weights")
 
-    def tenants(self) -> Iterator[TenantSpec]:
-        """Lazily sample the fleet's tenants (deterministic)."""
+    def sample_arrays(self) -> dict[str, np.ndarray]:
+        """The fleet's sampled columns, drawn in one vectorised pass.
+
+        The draw order is frozen: perturbing it would re-deal every
+        existing fleet.  ``trace_variants`` draws *after* the base
+        columns, so bounded-pool fleets extend — never re-deal — the
+        unbounded sampling.
+        """
         rng = spawn_rng(self.seed, "fleet", self.size)
         w_idx = rng.choice(
             len(self.workloads), size=self.size,
@@ -346,15 +361,101 @@ class TenantFleet:
                                  "scenario_weights"))
         variants = rng.integers(0, self.mapping_variants, size=self.size)
         seeds = rng.integers(0, 2**31 - 1, size=self.size)
-        for i in range(self.size):
-            yield TenantSpec(
-                name=f"t{i:06d}",
-                workload=self.workloads[int(w_idx[i])],
-                scenario=self.scenarios[int(s_idx[i])],
-                references=self.references,
-                seed=int(seeds[i]),
-                mapping_variant=int(variants[i]),
-            )
+        if self.trace_variants:
+            pool = rng.integers(0, 2**31 - 1, size=self.trace_variants)
+            seeds = pool[rng.integers(0, self.trace_variants, size=self.size)]
+        return {
+            "workload": w_idx.astype(np.int64),
+            "scenario": s_idx.astype(np.int64),
+            "variant": variants.astype(np.int64),
+            "seed": seeds.astype(np.int64),
+        }
+
+    def spec_at(self, index: int, arrays: dict[str, np.ndarray]) -> TenantSpec:
+        """The :class:`TenantSpec` at one global fleet index."""
+        return TenantSpec(
+            name=f"t{index:06d}",
+            workload=self.workloads[int(arrays["workload"][index])],
+            scenario=self.scenarios[int(arrays["scenario"][index])],
+            references=self.references,
+            seed=int(arrays["seed"][index]),
+            mapping_variant=int(arrays["variant"][index]),
+        )
+
+    def specs_for(
+        self, indices: Iterable[int],
+        arrays: dict[str, np.ndarray] | None = None,
+    ) -> Iterator[TenantSpec]:
+        """Lazily build the specs at the given global indices."""
+        if arrays is None:
+            arrays = self.sample_arrays()
+        for index in indices:
+            yield self.spec_at(int(index), arrays)
+
+    def tenants(self) -> Iterator[TenantSpec]:
+        """Lazily sample the fleet's tenants (deterministic)."""
+        return self.specs_for(range(self.size))
+
+    def distinct_traces(
+        self, arrays: dict[str, np.ndarray] | None = None
+    ) -> list[tuple[str, int]]:
+        """The distinct ``(workload, seed)`` trace identities, sorted.
+
+        This is what a shared :class:`TraceStore` must hold for the
+        whole fleet to read zero-copy; with ``trace_variants`` set it is
+        bounded by ``len(workloads) x trace_variants``.
+        """
+        if arrays is None:
+            arrays = self.sample_arrays()
+        pairs = np.unique(
+            np.stack([arrays["workload"], arrays["seed"]], axis=1), axis=0
+        )
+        return [(self.workloads[int(w)], int(seed)) for w, seed in pairs]
+
+
+# ----------------------------------------------------------------------
+# Deterministic shard partitioning
+# ----------------------------------------------------------------------
+
+#: splitmix64 finaliser constants (Steele et al.) — a stable, process-
+#: independent integer hash; the builtin ``hash`` is salted and banned.
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser over a uint64 array."""
+    x = values.astype(np.uint64) + _GAMMA
+    x = (x ^ (x >> np.uint64(30))) * _MIX_1
+    x = (x ^ (x >> np.uint64(27))) * _MIX_2
+    return x ^ (x >> np.uint64(31))
+
+
+def shard_assignments(
+    fleet: TenantFleet, shards: int,
+    arrays: dict[str, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Shard id per tenant: a stable hash of the tenant's spec.
+
+    The hash mixes every field of the sampled spec (global index,
+    trace seed, workload, scenario, mapping variant), so the partition
+    is a pure function of the fleet — identical in every process, under
+    every worker count, and across runs.  ``shards=1`` maps the whole
+    fleet to shard 0.
+    """
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if arrays is None:
+        arrays = fleet.sample_arrays()
+    if shards == 1:
+        return np.zeros(fleet.size, dtype=np.int64)
+    h = _mix64(arrays["variant"].astype(np.uint64))
+    h = _mix64(arrays["scenario"].astype(np.uint64) + h)
+    h = _mix64(arrays["workload"].astype(np.uint64) + h)
+    h = _mix64(arrays["seed"].astype(np.uint64) + h)
+    h = _mix64(np.arange(fleet.size, dtype=np.uint64) + h)
+    return (h % np.uint64(shards)).astype(np.int64)
 
 
 class _AsidAllocator:
@@ -392,7 +493,13 @@ class _AsidAllocator:
 
 @dataclass
 class FleetResult:
-    """Outcome of a fleet run (JSON-safe via :meth:`to_dict`)."""
+    """Outcome of a fleet run (JSON-safe via :meth:`to_dict`).
+
+    ``to_dict`` is the byte-identity surface of the sharded engine: it
+    must be a pure function of (fleet, scheme, knobs, shard count), so
+    process-dependent telemetry — ``peak_rss_bytes`` — stays on the
+    dataclass but out of the payload.
+    """
 
     tenants: int
     scheme: str
@@ -411,6 +518,7 @@ class FleetResult:
     registers: dict[str, int] = field(default_factory=dict)
     per_tenant: list[dict[str, Any]] | None = None
     peak_rss_bytes: int = 0
+    shards: int = 1
 
     def total_walks(self) -> int:
         return self.stats.walks
@@ -431,34 +539,188 @@ class FleetResult:
             "distance_saves": self.distance_saves,
             "distance_restores": self.distance_restores,
             "groups": {k: dict(v) for k, v in sorted(self.groups.items())},
-            "registers": dict(self.registers),
-            "peak_rss_bytes": self.peak_rss_bytes,
+            "registers": {k: self.registers[k] for k in sorted(self.registers)},
+            "shards": self.shards,
         }
         if self.per_tenant is not None:
             payload["per_tenant"] = self.per_tenant
         return payload
 
 
-def simulate_fleet(
-    fleet: TenantFleet,
-    scheme: str = "base",
-    machine: MachineConfig = DEFAULT_MACHINE,
-    *,
-    policy: str = "tagged",
-    quantum: int = 2_000,
-    active_pool: int = 8,
-    storm_every: int = 0,
-    storm_quantum: int = 0,
-    asid_bits: int = TAG_BITS,
-    keep_per_tenant: int = 64,
-) -> FleetResult:
-    """Time-share a whole :class:`TenantFleet` on one simulated core.
+#: Bump when the per-shard outcome payload or shard semantics change
+#: (versioned separately from the request cache, like the trace store).
+SHARD_CACHE_FORMAT = 1
 
-    Tenants are admitted in *waves* of ``active_pool``: each wave's
-    schemes and cursors live only for its own round-robin, so peak
-    memory is O(active_pool), while the shared tagged hierarchy, the
-    distance-register file, the ASID namespace, and the ``previous``
-    tenant (for switch accounting) persist across the entire fleet.
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one shard needs, picklable for pool dispatch.
+
+    Deliberately *excludes* the member indices: the worker recomputes
+    :func:`shard_assignments` from the fleet (a pure function), so a
+    million-tenant partition never rides the pickle stream.
+    """
+
+    fleet: TenantFleet
+    shard: int
+    shards: int
+    scheme: str
+    machine: MachineConfig
+    policy: str
+    quantum: int
+    active_pool: int
+    storm_every: int
+    storm_quantum: int
+    asid_bits: int
+    keep_details: bool
+    trace_root: str | None = None
+    profile_dir: str | None = None
+
+
+@dataclass
+class _ShardOutcome:
+    """One shard's result, JSON-safe for the content-addressed store."""
+
+    shard: int
+    tenants: int
+    executed: int
+    stats: dict[str, int]
+    switches: int
+    flushes: int
+    rounds: int
+    storm_rounds: int
+    waves: int
+    asid_recycles: int
+    distance_saves: int
+    distance_restores: int
+    groups: dict[str, dict[str, int]]
+    registers: dict[str, int]
+    per_tenant: list[dict[str, Any]] | None
+    peak_rss_bytes: int
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = {
+            "format": SHARD_CACHE_FORMAT,
+            "shard": self.shard,
+            "tenants": self.tenants,
+            "executed": self.executed,
+            "stats": dict(self.stats),
+            "switches": self.switches,
+            "flushes": self.flushes,
+            "rounds": self.rounds,
+            "storm_rounds": self.storm_rounds,
+            "waves": self.waves,
+            "asid_recycles": self.asid_recycles,
+            "distance_saves": self.distance_saves,
+            "distance_restores": self.distance_restores,
+            "groups": {k: dict(v) for k, v in sorted(self.groups.items())},
+            "registers": {k: self.registers[k] for k in sorted(self.registers)},
+            "peak_rss_bytes": self.peak_rss_bytes,
+        }
+        if self.per_tenant is not None:
+            payload["per_tenant"] = self.per_tenant
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> _ShardOutcome | None:
+        """Rehydrate a cached payload; anything malformed is a miss."""
+        if not isinstance(data, dict) or data.get("format") != SHARD_CACHE_FORMAT:
+            return None
+        try:
+            return cls(
+                shard=int(data["shard"]),
+                tenants=int(data["tenants"]),
+                executed=int(data["executed"]),
+                stats={k: int(v) for k, v in data["stats"].items()},
+                switches=int(data["switches"]),
+                flushes=int(data["flushes"]),
+                rounds=int(data["rounds"]),
+                storm_rounds=int(data["storm_rounds"]),
+                waves=int(data["waves"]),
+                asid_recycles=int(data["asid_recycles"]),
+                distance_saves=int(data["distance_saves"]),
+                distance_restores=int(data["distance_restores"]),
+                groups={
+                    k: {f: int(n) for f, n in v.items()}
+                    for k, v in data["groups"].items()
+                },
+                registers={k: int(v) for k, v in data["registers"].items()},
+                per_tenant=data.get("per_tenant"),
+                peak_rss_bytes=int(data["peak_rss_bytes"]),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None
+
+
+def _shard_key(task: _ShardTask) -> str:
+    """Content key of one shard's outcome (for the result store)."""
+    import hashlib
+
+    from repro.sim.api import machine_digest  # deferred: api imports us
+    from repro.sim.stats import canonical_json
+
+    fleet = task.fleet
+    payload = {
+        "kind": "fleet-shard",
+        "format": SHARD_CACHE_FORMAT,
+        "fleet": {
+            "size": fleet.size,
+            "workloads": list(fleet.workloads),
+            "scenarios": list(fleet.scenarios),
+            "references": fleet.references,
+            "seed": fleet.seed,
+            "mapping_variants": fleet.mapping_variants,
+            "workload_weights": (
+                list(fleet.workload_weights)
+                if fleet.workload_weights is not None else None
+            ),
+            "scenario_weights": (
+                list(fleet.scenario_weights)
+                if fleet.scenario_weights is not None else None
+            ),
+            "trace_variants": fleet.trace_variants,
+        },
+        "shard": task.shard,
+        "shards": task.shards,
+        "scheme": task.scheme,
+        "machine": machine_digest(task.machine),
+        "policy": task.policy,
+        "quantum": task.quantum,
+        "active_pool": task.active_pool,
+        "storm_every": task.storm_every,
+        "storm_quantum": task.storm_quantum,
+        "asid_bits": task.asid_bits,
+        "keep_details": task.keep_details,
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _run_shard(task: _ShardTask) -> _ShardOutcome:
+    """Simulate one shard (top-level so pool workers can pickle it)."""
+    if task.profile_dir is None:
+        return _simulate_shard(task)
+    import cProfile
+    from pathlib import Path
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        outcome = _simulate_shard(task)
+    finally:
+        profile.disable()
+    directory = Path(task.profile_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    profile.dump_stats(directory / f"shard_{task.shard:04d}.prof")
+    return outcome
+
+
+def _simulate_shard(task: _ShardTask) -> _ShardOutcome:
+    """The wave scheduler, scoped to one shard's subfleet.
+
+    This is the former ``simulate_fleet`` body: the shard owns a private
+    shared hierarchy, ASID namespace, distance-register file, and storm
+    schedule, so its outcome depends only on *its* member sequence —
+    never on sibling shards or the process it ran in.
     """
     # Deferred: the scheme registry imports every scheme module, and
     # workloads/scenarios pull the pattern generators — none of which
@@ -467,22 +729,26 @@ def simulate_fleet(
     from repro.sim.workloads import get_workload
     from repro.vmos.scenarios import build_mapping
 
-    if policy not in POLICIES:
-        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
-    if active_pool <= 0:
-        raise ValueError("active_pool must be positive")
+    fleet = task.fleet
+    scheme = task.scheme
+    machine = task.machine
+    policy = task.policy
 
     counters = ScheduleCounters()
     registers = DistanceRegisterFile()
     total = TranslationStats(latency=machine.latency)
     groups: dict[str, dict[str, int]] = {}
-    keep_details = fleet.size <= keep_per_tenant
-    per_tenant: list[dict[str, Any]] | None = [] if keep_details else None
+    per_tenant: list[dict[str, Any]] | None = [] if task.keep_details else None
 
     mappings: dict[tuple[str, str, int], Any] = {}
     shared: dict[str, Any] | None = None
     allocator: _AsidAllocator | None = None
-    chunk = max(quantum, storm_quantum, 1024)
+    chunk = max(task.quantum, task.storm_quantum, 1024)
+    store = TraceStore(task.trace_root) if task.trace_root else None
+
+    arrays = fleet.sample_arrays()
+    assignment = shard_assignments(fleet, task.shards, arrays)
+    members_of_shard = np.flatnonzero(assignment == task.shard)
 
     def mapping_for(spec: TenantSpec) -> Any:
         key = (spec.workload, spec.scenario, spec.mapping_variant)
@@ -498,6 +764,27 @@ def simulate_fleet(
             )
             mappings[key] = mapping
         return mapping
+
+    def cursor_for(spec: TenantSpec) -> _Cursor:
+        """The tenant's reference stream: mmap-shared when stored.
+
+        A store hit serves the whole trace as one read-only mmap
+        buffer — every slice the cursor hands out is a view into the
+        shared page cache, so concurrent shards replaying the same
+        trace key cost one copy of the bytes machine-wide.  A miss
+        falls back to streaming generation (bit-identical by the
+        chunk-invariance contract).
+        """
+        if store is not None:
+            stored = store.get(
+                TraceStore.key(spec.workload, spec.references, spec.seed)
+            )
+            if stored is not None:
+                return _Cursor(iter([stored.vpns]))
+        source = get_workload(spec.workload).trace_source(
+            spec.references, seed=spec.seed
+        )
+        return _Cursor(source.iter_chunks(chunk))
 
     def bind_shared(s: Any) -> None:
         """Point this tenant's scheme at the one physical hierarchy."""
@@ -542,7 +829,7 @@ def simulate_fleet(
                     carray.entries, carray.ways
                 )
                 structures.append(shared["cluster_array"])
-            allocator = _AsidAllocator(structures, bits=asid_bits)
+            allocator = _AsidAllocator(structures, bits=task.asid_bits)
         s.l1 = shared["l1"]
         if s.pwc is not None and "pwc" in shared:
             s.pwc = shared["pwc"]
@@ -560,9 +847,9 @@ def simulate_fleet(
     previous: TenantRun | None = None
     waves = 0
     executed_total = 0
-    pending = fleet.tenants()
+    pending = fleet.specs_for(members_of_shard, arrays)
     while True:
-        batch = list(itertools.islice(pending, active_pool))
+        batch = list(itertools.islice(pending, task.active_pool))
         if not batch:
             break
         waves += 1
@@ -574,13 +861,10 @@ def simulate_fleet(
                     f"scheme {scheme!r} cannot share tagged TLBs "
                     "(tag_safe_block is False)"
                 )
-            source = get_workload(spec.workload).trace_source(
-                spec.references, seed=spec.seed
-            )
             member = TenantRun(
                 name=spec.name,
                 scheme=scheme_obj,
-                cursor=_Cursor(source.iter_chunks(chunk)),
+                cursor=cursor_for(spec),
                 workload=spec.workload,
                 scenario=spec.scenario,
             )
@@ -594,10 +878,10 @@ def simulate_fleet(
             members.append(member)
         previous = run_schedule(
             members,
-            quantum=quantum,
+            quantum=task.quantum,
             policy=policy,
-            storm_every=storm_every,
-            storm_quantum=storm_quantum,
+            storm_every=task.storm_every,
+            storm_quantum=task.storm_quantum,
             counters=counters,
             registers=registers,
             previous=previous,
@@ -627,12 +911,11 @@ def simulate_fleet(
         # The wave's schemes die here; only `previous` (one scheme) and
         # the shared hardware survive into the next wave.
 
-    return FleetResult(
-        tenants=fleet.size,
-        scheme=scheme,
-        policy=policy,
+    return _ShardOutcome(
+        shard=task.shard,
+        tenants=int(members_of_shard.shape[0]),
         executed=executed_total,
-        stats=total,
+        stats=total.snapshot(),
         switches=counters.switches,
         flushes=counters.flushes,
         rounds=counters.rounds,
@@ -642,7 +925,206 @@ def simulate_fleet(
         distance_saves=registers.saves,
         distance_restores=registers.restores,
         groups=groups,
-        registers=registers.to_dict() if keep_details else {},
+        registers=registers.to_dict() if task.keep_details else {},
         per_tenant=per_tenant,
         peak_rss_bytes=peak_rss_bytes(),
+    )
+
+
+def _merge_shards(
+    fleet: TenantFleet,
+    scheme: str,
+    machine: MachineConfig,
+    policy: str,
+    shards: int,
+    outcomes: list[_ShardOutcome],
+    keep_details: bool,
+) -> FleetResult:
+    """Fold per-shard outcomes into one :class:`FleetResult`.
+
+    Outcomes are folded in shard-index order regardless of completion
+    order, so the merge — like the shards themselves — is independent
+    of worker count and scheduling jitter.  Counters sum; the RSS
+    high-water mark is the max over shard processes; per-tenant rows
+    re-sort into global fleet order (``t%06d`` names sort naturally).
+    """
+    total = TranslationStats(latency=machine.latency)
+    groups: dict[str, dict[str, int]] = {}
+    registers: dict[str, int] = {}
+    per_tenant: list[dict[str, Any]] | None = [] if keep_details else None
+    merged = FleetResult(
+        tenants=fleet.size, scheme=scheme, policy=policy,
+        executed=0, stats=total, shards=shards,
+    )
+    for outcome in sorted(outcomes, key=lambda o: o.shard):
+        total.bulk_update(**outcome.stats)
+        merged.executed += outcome.executed
+        merged.switches += outcome.switches
+        merged.flushes += outcome.flushes
+        merged.rounds += outcome.rounds
+        merged.storm_rounds += outcome.storm_rounds
+        merged.waves += outcome.waves
+        merged.asid_recycles += outcome.asid_recycles
+        merged.distance_saves += outcome.distance_saves
+        merged.distance_restores += outcome.distance_restores
+        merged.peak_rss_bytes = max(
+            merged.peak_rss_bytes, outcome.peak_rss_bytes
+        )
+        for key, fields in outcome.groups.items():
+            group = groups.setdefault(
+                key, {"tenants": 0, **{f: 0 for f in COUNTER_FIELDS}}
+            )
+            for name, value in fields.items():
+                group[name] = group.get(name, 0) + value
+        registers.update(outcome.registers)
+        if per_tenant is not None and outcome.per_tenant is not None:
+            per_tenant.extend(outcome.per_tenant)
+    if per_tenant is not None:
+        per_tenant.sort(key=lambda row: row["name"])
+    merged.groups = groups
+    merged.registers = registers
+    merged.per_tenant = per_tenant
+    return merged
+
+
+def prepare_fleet_traces(
+    fleet: TenantFleet, store: TraceStore
+) -> int:
+    """Pre-generate the fleet's distinct traces into ``store``.
+
+    Call this in the parent before dispatching shards: each distinct
+    ``(workload, seed)`` pair streams to disk exactly once (PR 4
+    contract), and every shard — serial or pooled — then mmaps the
+    shared bytes instead of regenerating.  Returns how many traces this
+    call actually generated.
+    """
+    from repro.sim.workloads import get_workload
+
+    created = 0
+    for workload, seed in fleet.distinct_traces():
+        key = TraceStore.key(workload, fleet.references, seed)
+        if key in store:
+            continue
+        store.get_or_create(
+            key,
+            lambda w=workload, s=seed: get_workload(w).trace_source(
+                fleet.references, seed=s
+            ),
+        )
+        created += 1
+    return created
+
+
+def simulate_fleet(
+    fleet: TenantFleet,
+    scheme: str = "base",
+    machine: MachineConfig = DEFAULT_MACHINE,
+    *,
+    policy: str = "tagged",
+    quantum: int = 2_000,
+    active_pool: int = 8,
+    storm_every: int = 0,
+    storm_quantum: int = 0,
+    asid_bits: int = TAG_BITS,
+    keep_per_tenant: int = 64,
+    shards: int = 1,
+    workers: int = 0,
+    trace_store: TraceStore | str | None = None,
+    result_store: Any | None = None,
+    profile_dir: str | None = None,
+) -> FleetResult:
+    """Time-share a whole :class:`TenantFleet`, shard by shard.
+
+    The fleet is first deterministically partitioned by
+    :func:`shard_assignments`; each shard is an independent subfleet —
+    its own wave schedule, shared tagged hierarchy, ASID namespace,
+    distance-register file, and storm cadence — simulated serially when
+    ``workers=0`` or across a ``ProcessPoolExecutor`` when
+    ``workers>0``, then merged order-independently.  The two execution
+    modes produce byte-identical :meth:`FleetResult.to_dict` payloads
+    at any shard count; ``shards=1, workers=0`` is exactly the legacy
+    single-core wave scheduler.
+
+    ``trace_store`` (a :class:`TraceStore` or its root path) serves
+    tenant traces zero-copy via mmap — pair it with
+    :func:`prepare_fleet_traces` and a ``fleet.trace_variants`` bound
+    so the store holds a practical number of distinct files.
+    ``result_store`` (any ``get(key)->dict|None`` / ``put(key, dict)``
+    object, e.g. :class:`repro.sim.runner.ResultStore`) caches each
+    shard's outcome content-addressed, making re-runs and resumed
+    million-tenant passes ~free.  ``profile_dir`` drops one cProfile
+    dump per shard (``shard_NNNN.prof``) for the profile pass.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    if active_pool <= 0:
+        raise ValueError("active_pool must be positive")
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+
+    trace_root: str | None
+    if isinstance(trace_store, TraceStore):
+        trace_root = str(trace_store.root)
+    elif trace_store is not None:
+        trace_root = str(trace_store)
+    else:
+        trace_root = None
+
+    keep_details = fleet.size <= keep_per_tenant
+    tasks = [
+        _ShardTask(
+            fleet=fleet, shard=shard, shards=shards, scheme=scheme,
+            machine=machine, policy=policy, quantum=quantum,
+            active_pool=active_pool, storm_every=storm_every,
+            storm_quantum=storm_quantum, asid_bits=asid_bits,
+            keep_details=keep_details, trace_root=trace_root,
+            profile_dir=profile_dir,
+        )
+        for shard in range(shards)
+    ]
+
+    outcomes: dict[int, _ShardOutcome] = {}
+    pending: list[_ShardTask] = []
+    keys: dict[int, str] = {}
+    for task in tasks:
+        if result_store is not None:
+            keys[task.shard] = _shard_key(task)
+            cached = result_store.get(keys[task.shard])
+            if cached is not None:
+                outcome = _ShardOutcome.from_dict(cached)
+                if outcome is not None and outcome.shard == task.shard:
+                    outcomes[task.shard] = outcome
+                    continue
+        pending.append(task)
+
+    def record(shard: int, outcome: _ShardOutcome) -> None:
+        # Persist immediately: a crash mid-fleet must not discard the
+        # shards that already finished (million-tenant resumability).
+        outcomes[shard] = outcome
+        if result_store is not None:
+            result_store.put(keys[shard], outcome.to_dict())
+
+    if workers > 0 and len(pending) > 1:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        context = multiprocessing.get_context("fork")
+        pool_size = min(workers, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(_run_shard, task): task.shard for task in pending
+            }
+            for future in as_completed(futures):
+                record(futures[future], future.result())
+    else:
+        for task in pending:
+            record(task.shard, _run_shard(task))
+
+    return _merge_shards(
+        fleet, scheme, machine, policy, shards,
+        list(outcomes.values()), keep_details,
     )

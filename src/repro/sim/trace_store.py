@@ -85,6 +85,16 @@ class TraceStore:
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    def keys(self) -> list[str]:
+        """Every stored content key, sorted (globs are fs-order)."""
+        return sorted(path.stem for path in self.root.glob("*/*.json"))
+
+    def total_bytes(self) -> int:
+        """On-disk bytes of all stored arrays (the zero-copy budget)."""
+        return sum(
+            path.stat().st_size for path in sorted(self.root.glob("*/*.npy"))
+        )
+
     # ------------------------------------------------------------------
     # Read side
     # ------------------------------------------------------------------

@@ -123,12 +123,30 @@ class TestByteIdentity:
                 request, service_thread.host, service_thread.port
             )
         assert served.payload["tenants"] == 4
-        payload = dict(served.payload)
-        # peak RSS is a process-wide gauge, not part of the result.
-        payload.pop("peak_rss_bytes")
-        expected = dict(direct)
-        expected.pop("peak_rss_bytes")
-        assert payload == expected
+        # FleetResult.to_dict carries no process-dependent fields, so
+        # the served payload equals the in-process one byte for byte.
+        assert served.payload == direct
+
+    def test_sharded_parallel_fleet_through_service(self):
+        """A workers>0 fleet runs its own shard pool from the service
+        parent and still returns the workers=0 bytes — and both worker
+        counts hash to the same key (one cache entry)."""
+        tenancy = TenancyConfig(tenants=6, quantum=200, active_pool=2,
+                                shards=3, workers=2)
+        request = request_of(references=800, kind="fleet", tenancy=tenancy)
+        serial = request_of(
+            references=800, kind="fleet",
+            tenancy=TenancyConfig(tenants=6, quantum=200, active_pool=2,
+                                  shards=3, workers=0),
+        )
+        assert request.key() == serial.key()
+        direct = execute_request(serial)
+        with ServiceThread() as service_thread:
+            served, _ = submit_and_wait(
+                request, service_thread.host, service_thread.port
+            )
+        assert served.payload == direct
+        assert served.payload["shards"] == 3
 
 
 class TestPersistentCache:
@@ -256,3 +274,65 @@ class TestCliEntryPoints:
             assert code == 0
             metrics = json.loads(capsys.readouterr().out)["metrics"]
             assert metrics["computed"] == 1
+
+
+class TestClientRetries:
+    def test_connect_retries_until_server_appears(self, monkeypatch):
+        """The first connects are refused (cold server); the backoff
+        loop keeps trying and succeeds once the socket exists."""
+        from repro.service import client as client_mod
+
+        real_connect = client_mod.socket.create_connection
+        failures = {"left": 2}
+        attempts = []
+
+        def flaky(address, timeout=None):
+            attempts.append(address)
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise ConnectionRefusedError("cold server")
+            return real_connect(address, timeout=timeout)
+
+        with ServiceThread() as service_thread:
+            # Patch after startup so the thread's own readiness probe
+            # does not consume the scripted failures.
+            monkeypatch.setattr(client_mod.socket, "create_connection",
+                                flaky)
+            snapshot = client_mod.status(
+                service_thread.host, service_thread.port,
+                retries=5, retry_delay=0.01,
+            )
+            status_attempts = len(attempts)
+        assert snapshot["event"] == "status"
+        assert failures["left"] == 0
+        assert status_attempts == 3  # two refusals + one success
+
+    def test_retries_exhausted_raises(self, monkeypatch):
+        from repro.service import client as client_mod
+
+        calls = []
+
+        def always_refused(address, timeout=None):
+            calls.append(address)
+            raise ConnectionRefusedError("nobody home")
+
+        monkeypatch.setattr(client_mod.socket, "create_connection",
+                            always_refused)
+        with pytest.raises(OSError):
+            client_mod.status("127.0.0.1", 1, retries=3, retry_delay=0.001)
+        assert len(calls) == 4  # first attempt + three retries
+
+    def test_no_retries_by_default(self, monkeypatch):
+        from repro.service import client as client_mod
+
+        calls = []
+
+        def always_refused(address, timeout=None):
+            calls.append(address)
+            raise ConnectionRefusedError("nobody home")
+
+        monkeypatch.setattr(client_mod.socket, "create_connection",
+                            always_refused)
+        with pytest.raises(OSError):
+            client_mod.status("127.0.0.1", 1)
+        assert len(calls) == 1

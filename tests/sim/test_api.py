@@ -72,6 +72,42 @@ class TestKeyCompatibility:
         assert request_of().key() == digest_payload(request_of().describe())
         assert request_of().key() == request_of().key()
 
+    def test_default_fleet_tenancy_hash_unchanged_by_sharding_fields(self):
+        """Pre-sharding fleet caches must stay valid: at their defaults
+        the new shards/trace_variants fields stay out of the tenancy
+        hash, leaving exactly the PR 6 field set."""
+        tenancy = fleet_request().tenancy.describe()
+        assert set(tenancy) == {
+            "tenants", "policy", "quantum", "active_pool", "storm_every",
+            "storm_quantum", "mapping_variants", "asid_bits", "workloads",
+            "scenarios",
+        }
+
+    def test_shards_and_trace_variants_perturb_key(self):
+        base = fleet_request()
+        sharded = fleet_request(
+            tenancy=TenancyConfig(tenants=4, quantum=200, active_pool=2,
+                                  shards=4))
+        bounded = fleet_request(
+            tenancy=TenancyConfig(tenants=4, quantum=200, active_pool=2,
+                                  trace_variants=3))
+        assert sharded.key() != base.key()
+        assert bounded.key() != base.key()
+        assert sharded.key() != bounded.key()
+
+    def test_workers_never_enters_the_key(self):
+        """Worker count is an execution knob: a shard's bytes are
+        identical under any pool size, so two requests differing only
+        in workers must share one cache entry."""
+        serial = fleet_request(
+            tenancy=TenancyConfig(tenants=4, quantum=200, active_pool=2,
+                                  shards=4, workers=0))
+        pooled = fleet_request(
+            tenancy=TenancyConfig(tenants=4, quantum=200, active_pool=2,
+                                  shards=4, workers=8))
+        assert serial.key() == pooled.key()
+        assert "workers" not in serial.tenancy.describe()
+
 
 class TestWireForm:
     def test_round_trip(self):
@@ -83,6 +119,29 @@ class TestWireForm:
         clone = SimRequest.from_dict(request.to_dict())
         assert clone == request
         assert clone.key() == request.key()
+
+    def test_round_trip_preserves_sharding_fields(self):
+        """workers rides the wire (the service honours it) even though
+        it never enters the hash."""
+        request = fleet_request(
+            tenancy=TenancyConfig(tenants=4, quantum=200, active_pool=2,
+                                  shards=4, trace_variants=3, workers=8))
+        clone = SimRequest.from_dict(request.to_dict())
+        assert clone == request
+        assert clone.tenancy.workers == 8
+        assert clone.tenancy.shards == 4
+        assert clone.tenancy.trace_variants == 3
+
+    def test_from_dict_accepts_pre_sharding_payloads(self):
+        """Wire payloads minted before the sharding fields existed must
+        still deserialize (defaults fill in)."""
+        data = fleet_request().to_dict()
+        for field in ("shards", "trace_variants", "workers"):
+            data["tenancy"].pop(field, None)
+        clone = SimRequest.from_dict(data)
+        assert clone.tenancy.shards == 1
+        assert clone.tenancy.trace_variants == 0
+        assert clone.tenancy.workers == 0
 
     def test_round_trip_through_json(self):
         import json

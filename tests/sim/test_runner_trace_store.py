@@ -131,3 +131,43 @@ class TestSummaryFields:
         assert combined.traces_generated == 3
         assert combined.trace_generation_seconds == 0.75
         assert combined.peak_rss_bytes == 300
+
+
+class TestFleetTracePreparation:
+    def test_fleet_request_pregenerates_bounded_pool(self, tmp_path):
+        """A bounded-pool fleet request primes the store in the parent:
+        every distinct (workload, seed) of the fleet exists before any
+        shard runs, each generated exactly once."""
+        from repro.sim.api import SimRequest, TenancyConfig, fleet_for
+
+        store = TraceStore(tmp_path / "traces")
+        request = SimRequest(
+            workload="gups", scenario="medium", scheme="base",
+            references=600, seed=9, kind="fleet",
+            tenancy=TenancyConfig(tenants=30, quantum=200, active_pool=4,
+                                  trace_variants=2),
+        )
+        results, summary = Orchestrator(
+            workers=0, trace_store=store
+        ).run([request])
+        assert len(results) == 1
+        distinct = fleet_for(request).distinct_traces()
+        assert 0 < len(distinct) <= 2
+        assert store.generation_count() == len(distinct)
+        assert len(store) == len(distinct)
+
+    def test_unbounded_fleet_skips_the_store(self, tmp_path):
+        """trace_variants=0 means one seed per tenant — pre-generating
+        would write a file per tenant, so the store must stay empty."""
+        from repro.sim.api import SimRequest, TenancyConfig
+
+        store = TraceStore(tmp_path / "traces")
+        request = SimRequest(
+            workload="gups", scenario="medium", scheme="base",
+            references=400, seed=9, kind="fleet",
+            tenancy=TenancyConfig(tenants=6, quantum=200, active_pool=2),
+        )
+        results, _ = Orchestrator(workers=0, trace_store=store).run([request])
+        assert len(results) == 1
+        assert len(store) == 0
+        assert store.generation_count() == 0

@@ -176,3 +176,116 @@ class TestGetOrCreate:
         # The torn write never became visible.
         assert key not in store
         assert store.get(key) is None
+
+
+# ----------------------------------------------------------------------
+# Concurrent readers (run in real child processes)
+# ----------------------------------------------------------------------
+
+def _read_same_key(root, key, expected_sum, out):
+    """Child: mmap-load one key repeatedly and checksum every load."""
+    store = TraceStore(root)
+    for _ in range(20):
+        trace = store.get(key)
+        if trace is None:
+            out.put(("miss", None))
+            return
+        total = int(np.asarray(trace.vpns, dtype=np.int64).sum())
+        if total != expected_sum:
+            out.put(("torn", total))
+            return
+    out.put(("ok", expected_sum))
+
+
+def _generate_other_key(root, workload, references, seed, out):
+    """Child: generate a *different* trace into the same store."""
+    store = TraceStore(root)
+    key = store.key(workload, references, seed)
+    trace = store.get_or_create(
+        key,
+        lambda: get_workload(workload).trace_source(references, seed=seed),
+    )
+    out.put(("generated", int(np.asarray(trace.vpns).sum())))
+
+
+class TestConcurrentReaders:
+    def test_two_readers_while_third_generates(self, tmp_path):
+        """Two processes mmap-load one key while a third writes a
+        different one: every read verifies (no torn bytes), and the
+        writer's trace lands exactly once."""
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        store = TraceStore(tmp_path)
+        shared_key = store.key("gups", 5000, 3)
+        store.get_or_create(
+            shared_key,
+            lambda: get_workload("gups").trace_source(5000, seed=3),
+        )
+        expected = int(np.asarray(store.get(shared_key).vpns).sum())
+
+        out = context.Queue()
+        readers = [
+            context.Process(
+                target=_read_same_key,
+                args=(tmp_path, shared_key, expected, out),
+            )
+            for _ in range(2)
+        ]
+        writer = context.Process(
+            target=_generate_other_key,
+            args=(tmp_path, "omnetpp", 4000, 9, out),
+        )
+        for proc in readers + [writer]:
+            proc.start()
+        outcomes = [out.get(timeout=60) for _ in range(3)]
+        for proc in readers + [writer]:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+
+        verdicts = sorted(tag for tag, _ in outcomes)
+        assert verdicts == ["generated", "ok", "ok"]
+        # Exactly-once: the shared key was generated only by the parent,
+        # the other key only by the writer child.
+        assert store.generation_count(shared_key) == 1
+        other_key = store.key("omnetpp", 4000, 9)
+        assert store.generation_count(other_key) == 1
+        assert len(store) == 2
+
+    def test_reader_in_child_sees_parent_write_zero_copy(self, tmp_path):
+        """A child forked after the parent's write serves the trace from
+        the shared page cache — same bytes, no regeneration."""
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        store = TraceStore(tmp_path)
+        key = store.key("gups", 3000, 5)
+        parent = store.get_or_create(
+            key,
+            lambda: get_workload("gups").trace_source(3000, seed=5),
+        )
+        expected = int(np.asarray(parent.vpns).sum())
+
+        out = context.Queue()
+        child = context.Process(
+            target=_read_same_key, args=(tmp_path, key, expected, out)
+        )
+        child.start()
+        verdict = out.get(timeout=60)
+        child.join(timeout=60)
+        assert child.exitcode == 0
+        assert verdict == ("ok", expected)
+        assert store.generation_count(key) == 1
+
+
+class TestInventory:
+    def test_keys_and_total_bytes(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.keys() == [] and store.total_bytes() == 0
+        k1 = store.key("a", 100, 1)
+        k2 = store.key("b", 100, 2)
+        store.put(make_trace(100), k1)
+        store.put(make_trace(100), k2)
+        assert store.keys() == sorted([k1, k2])
+        # Two int64 arrays of 100 entries plus npy headers.
+        assert store.total_bytes() >= 2 * 100 * 8
