@@ -29,6 +29,25 @@ def _git_commit() -> str | None:
     return commit if out.returncode == 0 and commit else None
 
 
+def _git_dirty() -> bool | None:
+    """True when the working tree differs from ``commit`` at bench time.
+
+    A committed envelope whose numbers came from an uncommitted tree is
+    not reproducible from its own ``commit`` field; the flag makes that
+    visible instead of silently misleading the trajectory.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except OSError:
+        return None
+    if out.returncode != 0:
+        return None
+    return bool(out.stdout.strip())
+
+
 def host_metadata() -> dict:
     """The envelope's ``host`` block: toolchain, CPU budget, commit."""
     try:
@@ -44,4 +63,5 @@ def host_metadata() -> dict:
         "cpu_count": os.cpu_count(),
         "usable_cpus": usable_cpus,
         "commit": _git_commit(),
+        "dirty": _git_dirty(),
     }

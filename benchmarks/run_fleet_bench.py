@@ -74,6 +74,14 @@ def bench_cell(fleet: TenantFleet, args: argparse.Namespace, *,
         "executed": result.executed,
         "walks": result.total_walks(),
         "shard_peak_rss_bytes": result.peak_rss_bytes,
+        # Where the wall went, summed across shards (CPU-seconds for
+        # workers>0 cells, so phases can exceed the wall there):
+        # mapping build, scheme construction (prototype + clones),
+        # simulation kernel, and the parent-side merge.
+        "phase_seconds": {
+            name: round(seconds, 3)
+            for name, seconds in sorted(result.phase_seconds.items())
+        },
         "digest": result_digest(result.to_dict()),
     }
 
@@ -148,6 +156,9 @@ def main() -> None:
         results["serial"] = serial
         print(f"serial (shards=1, workers=0): {serial['wall_seconds']}s, "
               f"{serial['tenants_per_sec']} tenants/s")
+        print("  phases: " + ", ".join(
+            f"{name}={seconds}s"
+            for name, seconds in serial["phase_seconds"].items()))
 
         sweep = []
         baseline_digest: str | None = None
@@ -175,6 +186,9 @@ def main() -> None:
             print(f"shards={args.shards} workers={workers}: "
                   f"{cell['wall_seconds']}s, {cell['tenants_per_sec']} "
                   f"tenants/s, speedup {cell['speedup_vs_serial']}x")
+            print("  phases: " + ", ".join(
+                f"{name}={seconds}s"
+                for name, seconds in cell["phase_seconds"].items()))
         results["sweep"] = sweep
 
     results["parent_peak_rss_bytes"] = peak_rss_bytes()

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.params import RANGE_TLB_ENTRIES
+from repro.hw.tlb import TAG_SHIFT, _check_tag
 from repro.vmos.mapping import MemoryMapping
 
 
@@ -74,19 +75,45 @@ class RangeTLB:
     LRU over entries; a lookup is an associative search of all resident
     ranges (here a linear scan over at most 32 entries, keyed for LRU by
     range start).
+
+    Like the TLB arrays, the structure carries an ASID/PCID tag register
+    (:data:`repro.hw.tlb.TAG_SHIFT`): ``set_tag`` selects the running
+    tenant, entry keys pack the tag into their high bits, and a lookup
+    only matches same-tag ranges — but all tenants' ranges compete for
+    the same ``capacity`` slots, the shared-structure contention the
+    fleet model measures.  Tag 0 leaves keys (and behaviour) identical
+    to the untagged single-process case.
     """
 
-    __slots__ = ("capacity", "_entries")
+    __slots__ = ("capacity", "_entries", "tag", "_tag_base")
 
     def __init__(self, capacity: int = RANGE_TLB_ENTRIES) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._entries: dict[int, RangeEntry] = {}
+        self.tag = 0
+        self._tag_base = 0
+
+    def set_tag(self, tag: int) -> None:
+        """Select the address-space tag for subsequent accesses."""
+        self.tag = _check_tag(tag)
+        self._tag_base = tag << TAG_SHIFT
+
+    def flush_tag(self, tag: int) -> int:
+        """Drop every entry carrying ``tag``; return the count dropped."""
+        _check_tag(tag)
+        stale = [key for key in self._entries if key >> TAG_SHIFT == tag]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
 
     def lookup(self, vpn: int) -> int | None:
         """Associatively translate ``vpn``; None on miss."""
+        tag = self.tag
         for key, entry in self._entries.items():
+            if key >> TAG_SHIFT != tag:
+                continue
             if entry.start_vpn <= vpn < entry.end_vpn:
                 del self._entries[key]
                 self._entries[key] = entry
@@ -94,7 +121,7 @@ class RangeTLB:
         return None
 
     def insert(self, entry: RangeEntry) -> None:
-        key = entry.start_vpn
+        key = entry.start_vpn | self._tag_base
         if key in self._entries:
             del self._entries[key]
         elif len(self._entries) >= self.capacity:

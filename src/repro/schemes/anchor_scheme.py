@@ -92,6 +92,46 @@ class AnchorScheme(TranslationScheme):
         self._anch_smalls: set[int] = set()
         self._scan_needed = True
         self._scan_tag = -1
+        # Copy-on-write guard for the shared coverage plan: set on both
+        # sides of clone_fresh, cleared whenever the directory is
+        # rebound to a private rebuild or privatised by _own_directory.
+        self._dir_shared = False
+
+    # ------------------------------------------------------------------
+    # Prototype cloning (clone-contract)
+    # ------------------------------------------------------------------
+
+    def _prepare_share(self) -> None:
+        super()._prepare_share()
+        self._directory_arrays()
+        # The incremental note_* paths mutate the directory in place;
+        # once any clone shares it, both prototype and clones must
+        # privatise before their first in-place mutation.
+        self._dir_shared = True
+
+    def _reset_clone(self) -> None:
+        super()._reset_clone()
+        self.l2 = AnchorL2TLB(self.config, self.distance)
+        self.shootdowns = ShootdownLog()
+        self._stale_sets = set()
+        self._stale_anchors = {}
+        self._anch_smalls = set()
+        self._scan_needed = True
+        self._scan_tag = -1
+
+    def _own_directory(self) -> None:
+        """Privatise a clone-shared directory before in-place mutation."""
+        if not self._dir_shared:
+            return
+        shared = self.directory
+        self.directory = AnchorDirectory(
+            distance=shared.distance,
+            huge=dict(shared.huge),
+            anchor_contiguity=dict(shared.anchor_contiguity),
+            small=dict(shared.small),
+            protections=dict(shared.protections),
+        )
+        self._dir_shared = False
 
     # ------------------------------------------------------------------
 
@@ -539,6 +579,7 @@ class AnchorScheme(TranslationScheme):
             return picked, False
         self.shootdowns.record_distance_change(self.mapping.mapped_pages, picked)
         self.directory = AnchorDirectory.build(self.mapping, picked, self.enable_thp)
+        self._dir_shared = False
         self._dlog = picked.bit_length() - 1
         self._invalidate_block_cache()
         self.l2.set_distance(picked)
@@ -560,6 +601,7 @@ class AnchorScheme(TranslationScheme):
 
     def unmap_page(self, vpn: int) -> int:
         """Unmap one 4 KiB page: page table, anchors, and TLBs."""
+        self._own_directory()
         anchors = self.directory.anchors_spanning(vpn)
         pfn = self.directory.note_unmap(vpn)
         self.mapping.unmap_page(vpn)
@@ -570,6 +612,7 @@ class AnchorScheme(TranslationScheme):
 
     def map_page(self, vpn: int, pfn: int) -> None:
         """Map one 4 KiB page, merging it into surrounding anchor runs."""
+        self._own_directory()
         self.directory.note_map(vpn, pfn)
         self.mapping.map_page(vpn, pfn)
         self._synced_version = self.mapping.version
@@ -579,6 +622,7 @@ class AnchorScheme(TranslationScheme):
 
     def protect_page(self, vpn: int, prot: int) -> None:
         """Change one page's protection, splitting coalesced coverage."""
+        self._own_directory()
         anchors = self.directory.anchors_spanning(vpn)
         self.directory.note_protect(vpn, prot)
         self.mapping.set_protection(vpn, 1, prot)
@@ -590,6 +634,7 @@ class AnchorScheme(TranslationScheme):
         self.mapping = mapping
         self._synced_version = mapping.version
         self.directory = AnchorDirectory.build(mapping, self.distance, self.enable_thp)
+        self._dir_shared = False
         self._invalidate_block_cache()
         self.flush()
 
@@ -597,6 +642,7 @@ class AnchorScheme(TranslationScheme):
         """External mapping mutation: replan coverage, then flush."""
         self.directory = AnchorDirectory.build(
             self.mapping, self.distance, self.enable_thp)
+        self._dir_shared = False
         self._invalidate_block_cache()
         self.flush()
 

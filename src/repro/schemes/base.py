@@ -166,10 +166,63 @@ class TranslationScheme(abc.ABC):
         self.l1.set_tag(asid)
         if self.pwc is not None:
             self.pwc.set_tag(asid)
-        for attr in ("l2", "l2_giga"):
+        for attr in ("l2", "l2_giga", "range_tlb"):
             tlb = getattr(self, attr, None)
             if tlb is not None:
                 tlb.set_tag(asid)
+
+    # ------------------------------------------------------------------
+    # Prototype cloning (fleet-scale construction amortisation)
+    # ------------------------------------------------------------------
+
+    def clone_fresh(self) -> "TranslationScheme":
+        """A fresh-state clone sharing this scheme's mapping-derived views.
+
+        The clone behaves exactly like ``type(self)(self.mapping,
+        self.config)`` — empty TLBs, zeroed stats, tag 0 — but *shares*
+        the immutable mapping-derived state (promotion maps, anchor
+        directories, sorted-array caches, range tables) with the
+        prototype by reference instead of rebuilding it, so per-tenant
+        scheme construction costs O(hardware), not O(mapping).
+
+        Subclasses hook the protocol in two places: :meth:`_prepare_share`
+        runs on the *prototype* and forces any lazily built views so
+        every clone inherits them already materialised;
+        :meth:`_reset_clone` runs on the *clone* and recreates every
+        structure the access paths mutate (L2 arrays, predictors,
+        resident-state caches).  Anything not reset is shared and must
+        be treated as read-only — the ``clone-contract`` check rule
+        enforces the share-don't-rebuild discipline.
+
+        Sharing survives mapping mutations: ``_synced_version`` rides
+        the copy, so a mutated mapping triggers ``_on_mapping_update``
+        on the clone's first sync, rebinding the clone's derived
+        attributes without touching the prototype's.
+        """
+        self._prepare_share()
+        clone = object.__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.l1 = L1TLB(self.config)
+        clone.pwc = PageWalkCache() if self.config.pwc else None
+        clone.stats = TranslationStats(latency=self.config.latency)
+        clone._reset_clone()
+        return clone
+
+    def _prepare_share(self) -> None:
+        """Force lazily built mapping-derived views on the prototype.
+
+        Runs once per :meth:`clone_fresh` call (idempotent: the views
+        cache themselves), so clones share the materialised arrays
+        instead of each rebuilding them on first use.
+        """
+
+    def _reset_clone(self) -> None:
+        """Recreate per-tenant mutable structures on a fresh clone.
+
+        Subclasses override (calling ``super()._reset_clone()``) to
+        give the clone private instances of everything their access
+        paths mutate.  Mapping-derived views stay shared by reference.
+        """
 
     def _walk_cycles(self, vpn: int, huge: bool = False) -> int:
         """Cycles charged for a page walk.

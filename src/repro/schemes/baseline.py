@@ -37,6 +37,10 @@ class BaselineScheme(TranslationScheme):
         # comes version-checked from mapping.frozen() per block.
         self._small = mapping.frozen().page_table
 
+    def _reset_clone(self) -> None:
+        super()._reset_clone()
+        self.l2 = SetAssociativeTLB(self.config.l2.entries, self.config.l2.ways)
+
     def access(self, vpn: int) -> int:
         stats = self.stats
         stats.accesses += 1

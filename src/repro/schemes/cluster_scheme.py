@@ -90,6 +90,16 @@ class ClusterScheme(TranslationScheme):
                             sorted_arrays(self._huge))
         return self._arrays
 
+    def _prepare_share(self) -> None:
+        super()._prepare_share()
+        self._sorted_views()
+
+    def _reset_clone(self) -> None:
+        super()._reset_clone()
+        self.regular = SetAssociativeTLB(
+            CLUSTER_REGULAR.entries, CLUSTER_REGULAR.ways)
+        self.clustered = ClusterTLB(CLUSTER_CLUSTERED)
+
     def access(self, vpn: int) -> int:
         stats = self.stats
         stats.accesses += 1

@@ -45,6 +45,10 @@ class ColtScheme(TranslationScheme):
         # itself); the compiled run arrays come from mapping.frozen().
         self._small = mapping.frozen().page_table
 
+    def _reset_clone(self) -> None:
+        super()._reset_clone()
+        self.l2 = SetAssociativeTLB(self.config.l2.entries, self.config.l2.ways)
+
     def access(self, vpn: int) -> int:
         stats = self.stats
         stats.accesses += 1

@@ -67,10 +67,10 @@ class PrefetchScheme(TranslationScheme):
     """4 KiB baseline + distance prefetching into the L2."""
 
     name = "prefetch"
-    #: The block fast path writes raw (untagged) keys into its
-    #: arrays' buckets; sharing them between tagged tenants would
-    #: alias entries across address spaces.
-    tag_safe_block = False
+    #: The block fast path packs the L2's tag register into every raw
+    #: bucket key it writes (the predictor and the prefetched-VPN set
+    #: are per-tenant already), so tagged tenants may share the L2.
+    tag_safe_block = True
 
     def __init__(
         self,
@@ -86,6 +86,14 @@ class PrefetchScheme(TranslationScheme):
         self.prefetches_issued = 0
         self.prefetch_hits = 0
         self._prefetched: set[int] = set()
+
+    def _reset_clone(self) -> None:
+        super()._reset_clone()
+        self.l2 = SetAssociativeTLB(self.config.l2.entries, self.config.l2.ways)
+        self.predictor = DistancePredictor(self.predictor.capacity)
+        self.prefetches_issued = 0
+        self.prefetch_hits = 0
+        self._prefetched = set()
 
     def access(self, vpn: int) -> int:
         stats = self.stats
@@ -136,6 +144,7 @@ class PrefetchScheme(TranslationScheme):
         mk = heads[~hit1]
         pfn_mk, _ = frozen.translate_block(mk)
         buckets = self.l2._sets
+        tbase = self.l2._tag_base
         ways = self.l2.ways
         imask = self.l2.index_mask
         prefetched = self._prefetched
@@ -157,10 +166,11 @@ class PrefetchScheme(TranslationScheme):
         walk_vpns: list[int] = []
         for vpn, pfn in zip(mk.tolist(), pfn_mk.tolist()):
             bucket = buckets[vpn & imask]
-            value = bucket.get(vpn)
+            key = vpn | tbase
+            value = bucket.get(key)
             if value is not None:
-                del bucket[vpn]
-                bucket[vpn] = value
+                del bucket[key]
+                bucket[key] = value
                 l2_hits += 1
                 if vpn not in prefetched:
                     continue
@@ -172,7 +182,7 @@ class PrefetchScheme(TranslationScheme):
                     walk_vpns.append(vpn)
                 if len(bucket) >= ways:
                     del bucket[next(iter(bucket))]
-                bucket[vpn] = pfn
+                bucket[key] = pfn
             # DistancePredictor.observe_and_predict + _issue_prefetch,
             # inlined with the predictor state in locals (written back
             # after the loop): this runs once per real-or-hidden L2

@@ -94,6 +94,14 @@ class RegionAnchorScheme(TranslationScheme):
         self._build_directories()
         self.flush()
 
+    def _prepare_share(self) -> None:
+        super()._prepare_share()
+        self._merged_arrays()
+
+    def _reset_clone(self) -> None:
+        super()._reset_clone()
+        self.l2 = SetAssociativeTLB(self.config.l2.entries, self.config.l2.ways)
+
     # ------------------------------------------------------------------
 
     def _region_index(self, vpn: int) -> int | None:

@@ -32,10 +32,10 @@ class RMMScheme(TranslationScheme):
     """Baseline L2 (with THP) + 32-entry range TLB."""
 
     name = "rmm"
-    #: The block fast path writes raw (untagged) keys into its
-    #: arrays' buckets; sharing them between tagged tenants would
-    #: alias entries across address spaces.
-    tag_safe_block = False
+    #: The block fast path packs the arrays' tag registers into every
+    #: raw bucket/range key it writes, so tagged tenants may share the
+    #: L2 and the range TLB without aliasing address spaces.
+    tag_safe_block = True
 
     def __init__(
         self,
@@ -62,6 +62,15 @@ class RMMScheme(TranslationScheme):
             self._arrays = (sorted_arrays(self._small),
                             sorted_arrays(self._huge))
         return self._arrays
+
+    def _prepare_share(self) -> None:
+        super()._prepare_share()
+        self._sorted_views()
+
+    def _reset_clone(self) -> None:
+        super()._reset_clone()
+        self.l2 = SetAssociativeTLB(self.config.l2.entries, self.config.l2.ways)
+        self.range_tlb = RangeTLB(self.range_tlb.capacity)
 
     def access(self, vpn: int) -> int:
         stats = self.stats
@@ -124,9 +133,10 @@ class RMMScheme(TranslationScheme):
         L1 misses replay through an exact Python loop with the
         per-reference lookups (page-size class, PFN, covering chunk)
         hoisted into numpy.  The range-TLB scan reduces to one dict
-        probe: resident ranges are disjoint chunks of the current
-        mapping keyed by their start VPN, so the only entry that can
-        cover a VPN is its own chunk's.
+        probe: resident same-tag ranges are disjoint chunks of the
+        current mapping keyed by their (tagged) start VPN, so the only
+        entry that can cover a VPN is its own chunk's — foreign-tag
+        entries never match an associative lookup by construction.
         """
         if vpns.shape[0] == 0:
             return
@@ -160,10 +170,12 @@ class RMMScheme(TranslationScheme):
         cstart = frozen.chunk_vpn[cid] if cid.size else cid
         ranges = self.range_table.ranges()
         rentries = self.range_tlb._entries
+        rbase = self.range_tlb._tag_base
         r_cap = self.range_tlb.capacity
         ways = self.l2.ways
         imask = self.l2.index_mask
         buckets = self.l2._sets
+        tbase = self.l2._tag_base
         l2_small = l2_huge = coalesced = walks = 0
         walk_vpns: list[int] = []
         walk_huge: list[bool] = []
@@ -177,19 +189,20 @@ class RMMScheme(TranslationScheme):
             cid.tolist(),
         )
         for vpn, huge_row, hidx, hb, pfn_row, cs, ci in rows:
+            rkey = cs | rbase
             if huge_row:
                 bucket = buckets[hidx]
-                key = ((vpn >> _HUGE_SHIFT) << 1) | _KIND_HUGE
+                key = (((vpn >> _HUGE_SHIFT) << 1) | _KIND_HUGE) | tbase
                 value = bucket.get(key)
                 if value is not None:
                     del bucket[key]
                     bucket[key] = value
                     l2_huge += 1
                     continue
-                entry = rentries.get(cs)
+                entry = rentries.get(rkey)
                 if entry is not None:
-                    del rentries[cs]
-                    rentries[cs] = entry
+                    del rentries[rkey]
+                    rentries[rkey] = entry
                     coalesced += 1
                     continue
                 walks += 1
@@ -200,17 +213,17 @@ class RMMScheme(TranslationScheme):
                 bucket[key] = hb
             else:
                 bucket = buckets[vpn & imask]
-                skey = vpn << 1  # | _KIND_SMALL
+                skey = (vpn << 1) | tbase  # kind bits: _KIND_SMALL == 0
                 value = bucket.get(skey)
                 if value is not None:
                     del bucket[skey]
                     bucket[skey] = value
                     l2_small += 1
                     continue
-                entry = rentries.get(cs)
+                entry = rentries.get(rkey)
                 if entry is not None:
-                    del rentries[cs]
-                    rentries[cs] = entry
+                    del rentries[rkey]
+                    rentries[rkey] = entry
                     coalesced += 1
                     continue
                 walks += 1
@@ -220,11 +233,11 @@ class RMMScheme(TranslationScheme):
                     del bucket[next(iter(bucket))]
                 bucket[skey] = pfn_row
             # Walk completed: refill the range TLB from the OS table.
-            if cs in rentries:
-                del rentries[cs]
+            if rkey in rentries:
+                del rentries[rkey]
             elif len(rentries) >= r_cap:
                 del rentries[next(iter(rentries))]
-            rentries[cs] = ranges[ci]
+            rentries[rkey] = ranges[ci]
         walk_pt = 0
         if self.pwc is not None:
             walk_pt = self._block_walk_accesses(

@@ -82,6 +82,27 @@ class THPScheme(TranslationScheme):
         self._build_promotions()
         self.flush()
 
+    def _membership_views(self) -> tuple[SortedMembership, ...]:
+        if self._memberships is None:
+            self._memberships = (
+                SortedMembership(self._small),
+                SortedMembership(self._huge),
+                SortedMembership(self._giga),
+            )
+        return self._memberships
+
+    def _prepare_share(self) -> None:
+        super()._prepare_share()
+        self._membership_views()
+
+    def _reset_clone(self) -> None:
+        super()._reset_clone()
+        self.l2 = SetAssociativeTLB(self.config.l2.entries, self.config.l2.ways)
+        if self.use_giga:
+            self.l2_giga = SetAssociativeTLB(
+                self.config.l2_1g.entries, self.config.l2_1g.ways
+            )
+
     def access(self, vpn: int) -> int:
         stats = self.stats
         stats.accesses += 1
@@ -144,13 +165,7 @@ class THPScheme(TranslationScheme):
         """
         if vpns.shape[0] == 0:
             return
-        if self._memberships is None:
-            self._memberships = (
-                SortedMembership(self._small),
-                SortedMembership(self._huge),
-                SortedMembership(self._giga),
-            )
-        small_map, huge_map, giga_map = self._memberships
+        small_map, huge_map, giga_map = self._membership_views()
         heads = collapse_runs(vpns)
         hvpn = heads >> _HUGE_SHIFT
         is_huge = huge_map.mask(hvpn << _HUGE_SHIFT)

@@ -96,6 +96,22 @@ class TranslationStats:
         self.walks += int(walks)
         self.walk_pt_accesses += int(walk_pt_accesses)
 
+    def accumulate(self, other: "TranslationStats") -> None:
+        """Fold another stats object's counters into this one.
+
+        The delta path of the fleet fold: a direct attribute-sum over
+        ``other`` (already plain ints by construction), skipping the
+        dict materialisation and keyword re-coercion of
+        ``bulk_update(**other.snapshot())``.
+        """
+        self.accesses += other.accesses
+        self.l1_hits += other.l1_hits
+        self.l2_small_hits += other.l2_small_hits
+        self.l2_huge_hits += other.l2_huge_hits
+        self.coalesced_hits += other.coalesced_hits
+        self.walks += other.walks
+        self.walk_pt_accesses += other.walk_pt_accesses
+
     def snapshot(self) -> dict[str, int]:
         """The raw counters as a plain (JSON-safe) dict."""
         return {name: int(getattr(self, name)) for name in COUNTER_FIELDS}

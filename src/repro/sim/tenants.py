@@ -38,6 +38,7 @@ design exists to serve.
 from __future__ import annotations
 
 import itertools
+import time
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from typing import Any
@@ -47,6 +48,7 @@ import numpy as np
 from repro.params import DEFAULT_MACHINE, SCENARIO_ORDER, MachineConfig
 from repro.hw.anchor_tlb import AnchorL2TLB
 from repro.hw.l1 import L1TLB
+from repro.hw.range_tlb import RangeTLB
 from repro.hw.tlb import TAG_BITS, SetAssociativeTLB
 from repro.sim.multiprog import MultiProgramResult, ProcessRun
 from repro.sim.stats import COUNTER_FIELDS, TranslationStats
@@ -145,6 +147,31 @@ def _activate(
             l2.restore_distance(saved)
 
 
+class _Dispatch:
+    """Pre-bound per-member fast path for the round loop.
+
+    Binding ``cursor.take`` / ``scheme.access_block`` once per tenant
+    (instead of re-resolving the attribute chains on every quantum) and
+    tracking the last-seen mapping version amortises dispatch overhead
+    over the thousands of quanta a wave executes.  ``version`` starts as
+    ``None`` so the first quantum always calls ``sync_mapping`` (itself
+    version-guarded); afterwards the call is skipped while
+    ``mapping.version`` is unchanged, which is behaviour-identical
+    because a same-version sync is a no-op.
+    """
+
+    __slots__ = ("member", "scheme", "take", "access_block",
+                 "sync_mapping", "version")
+
+    def __init__(self, member: TenantRun) -> None:
+        self.member = member
+        self.scheme = member.scheme
+        self.take = member.cursor.take
+        self.access_block = member.scheme.access_block
+        self.sync_mapping = member.scheme.sync_mapping
+        self.version: int | None = None
+
+
 def run_schedule(
     members: Iterable[TenantRun],
     *,
@@ -184,18 +211,19 @@ def run_schedule(
     if counters is None:
         counters = ScheduleCounters()
 
-    active = list(members)
+    active = [_Dispatch(member) for member in members]
     while active:
         counters.rounds += 1
         storm = storm_every > 0 and counters.rounds % storm_every == 0
         if storm:
             counters.storm_rounds += 1
         q = storm_quantum if storm else quantum
-        for member in list(active):
-            block = member.cursor.take(q)
+        for entry in list(active):
+            member = entry.member
+            block = entry.take(q)
             if block.shape[0] == 0:
                 # Exhausted with nothing left to run: drop silently.
-                active.remove(member)
+                active.remove(entry)
                 continue
             if previous is not member:
                 if previous is not None:
@@ -210,13 +238,16 @@ def run_schedule(
                         counters.flushes += 1
                 if policy == "tagged":
                     _activate(member, registers)
-            member.scheme.sync_mapping()
-            member.scheme.access_block(block)
+            version = entry.scheme.mapping.version
+            if version != entry.version:
+                entry.sync_mapping()
+                entry.version = version
+            entry.access_block(block)
             member.executed += int(block.shape[0])
             member.slices += 1
             previous = member
             if block.shape[0] < q:
-                active.remove(member)
+                active.remove(entry)
     return previous
 
 
@@ -519,6 +550,11 @@ class FleetResult:
     per_tenant: list[dict[str, Any]] | None = None
     peak_rss_bytes: int = 0
     shards: int = 1
+    #: Wall-seconds per engine phase (mapping build, scheme
+    #: construction, kernel, merge), summed across shards.  Process-
+    #: dependent telemetry like ``peak_rss_bytes``: kept off the
+    #: byte-identity payload of :meth:`to_dict`.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     def total_walks(self) -> int:
         return self.stats.walks
@@ -597,6 +633,7 @@ class _ShardOutcome:
     registers: dict[str, int]
     per_tenant: list[dict[str, Any]] | None
     peak_rss_bytes: int
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         payload = {
@@ -616,6 +653,9 @@ class _ShardOutcome:
             "groups": {k: dict(v) for k, v in sorted(self.groups.items())},
             "registers": {k: self.registers[k] for k in sorted(self.registers)},
             "peak_rss_bytes": self.peak_rss_bytes,
+            "phase_seconds": {
+                k: self.phase_seconds[k] for k in sorted(self.phase_seconds)
+            },
         }
         if self.per_tenant is not None:
             payload["per_tenant"] = self.per_tenant
@@ -647,6 +687,12 @@ class _ShardOutcome:
                 registers={k: int(v) for k, v in data["registers"].items()},
                 per_tenant=data.get("per_tenant"),
                 peak_rss_bytes=int(data["peak_rss_bytes"]),
+                # Optional (older cached payloads predate phase timing);
+                # a cache hit legitimately reports zero compute time.
+                phase_seconds={
+                    k: float(v)
+                    for k, v in data.get("phase_seconds", {}).items()
+                },
             )
         except (KeyError, TypeError, ValueError, AttributeError):
             return None
@@ -741,10 +787,12 @@ def _simulate_shard(task: _ShardTask) -> _ShardOutcome:
     per_tenant: list[dict[str, Any]] | None = [] if task.keep_details else None
 
     mappings: dict[tuple[str, str, int], Any] = {}
+    prototypes: dict[tuple[str, str, int], Any] = {}
     shared: dict[str, Any] | None = None
     allocator: _AsidAllocator | None = None
     chunk = max(task.quantum, task.storm_quantum, 1024)
     store = TraceStore(task.trace_root) if task.trace_root else None
+    phases = {"mapping": 0.0, "scheme": 0.0, "kernel": 0.0}
 
     arrays = fleet.sample_arrays()
     assignment = shard_assignments(fleet, task.shards, arrays)
@@ -754,6 +802,7 @@ def _simulate_shard(task: _ShardTask) -> _ShardOutcome:
         key = (spec.workload, spec.scenario, spec.mapping_variant)
         mapping = mappings.get(key)
         if mapping is None:
+            start = time.perf_counter()
             mseed = int(
                 spawn_rng(fleet.seed, "fleet-mapping", spec.workload,
                           spec.scenario, spec.mapping_variant)
@@ -763,7 +812,33 @@ def _simulate_shard(task: _ShardTask) -> _ShardOutcome:
                 get_workload(spec.workload).vmas(), spec.scenario, seed=mseed
             )
             mappings[key] = mapping
+            phases["mapping"] += time.perf_counter() - start
         return mapping
+
+    def scheme_for(spec: TenantSpec) -> Any:
+        """A per-tenant scheme instance via the prototype-clone path.
+
+        ``make_scheme`` rebuilds every mapping-derived structure (anchor
+        directories, promotion maps, range tables) from scratch; those
+        depend only on the mapping key, so one *prototype* per key pays
+        that cost and every tenant receives a ``clone_fresh()`` — fresh
+        per-tenant hardware and stats over the shared read-only plan.
+        The prototype itself is never handed out: tenants mutate their
+        stats and (under ``tagged``) have their hardware rebound to the
+        shared hierarchy, and the prototype must stay pristine.
+        """
+        key = (spec.workload, spec.scenario, spec.mapping_variant)
+        proto = prototypes.get(key)
+        if proto is None:
+            mapping = mapping_for(spec)  # timed under the mapping phase
+            start = time.perf_counter()
+            proto = make_scheme(scheme, mapping, machine)
+            prototypes[key] = proto
+        else:
+            start = time.perf_counter()
+        instance = proto.clone_fresh()
+        phases["scheme"] += time.perf_counter() - start
+        return instance
 
     def cursor_for(spec: TenantSpec) -> _Cursor:
         """The tenant's reference stream: mmap-shared when stored.
@@ -829,6 +904,12 @@ def _simulate_shard(task: _ShardTask) -> _ShardOutcome:
                     carray.entries, carray.ways
                 )
                 structures.append(shared["cluster_array"])
+            rtlb = getattr(s, "range_tlb", None)
+            if isinstance(rtlb, RangeTLB):
+                # RMM: all tenants' ranges share one physical range TLB
+                # and contend for its few fully associative slots.
+                shared["range_tlb"] = RangeTLB(rtlb.capacity)
+                structures.append(shared["range_tlb"])
             allocator = _AsidAllocator(structures, bits=task.asid_bits)
         s.l1 = shared["l1"]
         if s.pwc is not None and "pwc" in shared:
@@ -843,6 +924,8 @@ def _simulate_shard(task: _ShardTask) -> _ShardOutcome:
         if "cluster_regular" in shared and getattr(s, "regular", None) is not None:
             s.regular = shared["cluster_regular"]
             s.clustered.array = shared["cluster_array"]
+        if "range_tlb" in shared and getattr(s, "range_tlb", None) is not None:
+            s.range_tlb = shared["range_tlb"]
 
     previous: TenantRun | None = None
     waves = 0
@@ -855,7 +938,7 @@ def _simulate_shard(task: _ShardTask) -> _ShardOutcome:
         waves += 1
         members: list[TenantRun] = []
         for spec in batch:
-            scheme_obj = make_scheme(scheme, mapping_for(spec), machine)
+            scheme_obj = scheme_for(spec)
             if policy == "tagged" and not scheme_obj.tag_safe_block:
                 raise ValueError(
                     f"scheme {scheme!r} cannot share tagged TLBs "
@@ -876,6 +959,7 @@ def _simulate_shard(task: _ShardTask) -> _ShardOutcome:
                 if isinstance(l2, AnchorL2TLB):
                     registers.save(member.name, l2.distance)
             members.append(member)
+        kernel_start = time.perf_counter()
         previous = run_schedule(
             members,
             quantum=task.quantum,
@@ -886,10 +970,11 @@ def _simulate_shard(task: _ShardTask) -> _ShardOutcome:
             registers=registers,
             previous=previous,
         )
+        phases["kernel"] += time.perf_counter() - kernel_start
         for member in members:
             member.scheme.stats.check_conservation()
+            total.accumulate(member.scheme.stats)
             snap = member.scheme.stats.snapshot()
-            total.bulk_update(**snap)
             group_key = f"{member.workload}/{member.scenario}"
             group = groups.setdefault(
                 group_key, {"tenants": 0, **{f: 0 for f in COUNTER_FIELDS}}
@@ -928,6 +1013,7 @@ def _simulate_shard(task: _ShardTask) -> _ShardOutcome:
         registers=registers.to_dict() if task.keep_details else {},
         per_tenant=per_tenant,
         peak_rss_bytes=peak_rss_bytes(),
+        phase_seconds=dict(phases),
     )
 
 
@@ -970,6 +1056,10 @@ def _merge_shards(
         merged.peak_rss_bytes = max(
             merged.peak_rss_bytes, outcome.peak_rss_bytes
         )
+        for phase, seconds in outcome.phase_seconds.items():
+            merged.phase_seconds[phase] = (
+                merged.phase_seconds.get(phase, 0.0) + seconds
+            )
         for key, fields in outcome.groups.items():
             group = groups.setdefault(
                 key, {"tenants": 0, **{f: 0 for f in COUNTER_FIELDS}}
@@ -1124,7 +1214,10 @@ def simulate_fleet(
         for task in pending:
             record(task.shard, _run_shard(task))
 
-    return _merge_shards(
+    merge_start = time.perf_counter()
+    result = _merge_shards(
         fleet, scheme, machine, policy, shards,
         list(outcomes.values()), keep_details,
     )
+    result.phase_seconds["merge"] = time.perf_counter() - merge_start
+    return result

@@ -1,0 +1,58 @@
+"""The benchmark envelope's host block: shape, commit, and dirty flag."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+import hostmeta  # noqa: E402
+from hostmeta import host_metadata  # noqa: E402
+
+
+def test_host_metadata_shape():
+    meta = host_metadata()
+    assert set(meta) == {
+        "python", "implementation", "numpy", "platform", "machine",
+        "cpu_count", "usable_cpus", "commit", "dirty",
+    }
+    assert meta["cpu_count"] >= 1
+    assert meta["usable_cpus"] >= 1
+
+
+def test_dirty_reflects_working_tree(tmp_path, monkeypatch):
+    def git(*argv):
+        subprocess.run(["git", *argv], cwd=tmp_path, check=True,
+                       capture_output=True)
+
+    git("init", "-q")
+    git("config", "user.email", "bench@example.invalid")
+    git("config", "user.name", "bench")
+    (tmp_path / "a.txt").write_text("one\n")
+    git("add", "a.txt")
+    git("commit", "-q", "-m", "seed")
+
+    monkeypatch.chdir(tmp_path)
+    assert hostmeta._git_dirty() is False
+    (tmp_path / "a.txt").write_text("two\n")
+    assert hostmeta._git_dirty() is True
+    # Untracked files count too: the tree no longer matches the commit.
+    (tmp_path / "a.txt").write_text("one\n")
+    (tmp_path / "b.txt").write_text("new\n")
+    assert hostmeta._git_dirty() is True
+
+
+def test_dirty_none_outside_git(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert hostmeta._git_dirty() is None
+
+
+def test_dirty_none_when_git_missing(monkeypatch):
+    def boom(*args, **kwargs):
+        raise OSError("no git")
+
+    monkeypatch.setattr(hostmeta.subprocess, "run", boom)
+    assert hostmeta._git_dirty() is None
+    assert hostmeta._git_commit() is None

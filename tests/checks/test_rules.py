@@ -105,6 +105,33 @@ class TestSchemeContract:
         assert "'resync'" not in text
 
 
+class TestCloneContract:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return findings_in("cloneroot", rules=["clone-contract"])
+
+    def test_missing_reset_clone_flagged(self, findings):
+        assert any("ForgetfulScheme" in f.message
+                   and "_reset_clone" in f.message for f in findings)
+
+    def test_mapping_touch_in_reset_clone(self, findings):
+        assert any("touches the mapping" in f.message
+                   and "RebuildingScheme" in f.message for f in findings)
+
+    def test_build_helper_call_in_reset_clone(self, findings):
+        assert any("'_build_views'" in f.message for f in findings)
+
+    def test_expensive_builders_in_reset_clone(self, findings):
+        text = "\n".join(f.message for f in findings)
+        assert "'AnchorDirectory'" in text
+        assert "'RangeTable'" in text
+
+    def test_prepare_share_exempt_and_non_scheme_pass(self, findings):
+        text = "\n".join(f.message for f in findings)
+        assert "CleanCloneScheme" not in text
+        assert "Helper" not in text
+
+
 class TestFrozenMutation:
     @pytest.fixture(scope="class")
     def findings(self):

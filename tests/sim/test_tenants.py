@@ -164,7 +164,8 @@ class TestTaggedDifferential:
     """ISSUE acceptance: a 1-tenant tagged run is bit-identical to the
     untagged engine — the ASID machinery must add zero perturbation."""
 
-    @pytest.mark.parametrize("scheme_name", ["base", "thp", "anchor-dyn"])
+    @pytest.mark.parametrize(
+        "scheme_name", ["base", "thp", "anchor-dyn", "rmm", "prefetch"])
     def test_tagged_equals_untagged(self, scheme_name):
         rng = np.random.default_rng(3)
         vpns = rng.integers(0, 1024, 6000).astype(np.int64)
@@ -202,12 +203,13 @@ class TestTaggedDifferential:
         assert TAG_BITS >= 8
 
     def test_unsafe_scheme_rejects_asid(self, medium_mapping):
-        scheme = make_scheme("rmm", medium_mapping)
+        scheme = make_scheme("anchor-region", medium_mapping)
         assert not scheme.tag_safe_block
         with pytest.raises(ValueError):
             scheme.set_asid(1)
 
-    @pytest.mark.parametrize("name", ["cluster", "cluster2mb", "colt"])
+    @pytest.mark.parametrize(
+        "name", ["cluster", "cluster2mb", "colt", "rmm", "prefetch"])
     def test_coalescing_schemes_accept_asid(self, medium_mapping, name):
         """The HW-coalescing schemes' block fast paths are tag-aware:
         ``set_asid`` must tag every array the fast path touches."""
@@ -215,8 +217,10 @@ class TestTaggedDifferential:
         assert scheme.tag_safe_block
         scheme.set_asid(3)
         assert scheme.l1.small.tag == 3
-        if name == "colt":
+        if name in ("colt", "rmm", "prefetch"):
             assert scheme.l2.tag == 3
+            if name == "rmm":
+                assert scheme.range_tlb.tag == 3
         else:
             assert scheme.regular.tag == 3
             assert scheme.clustered.array.tag == 3
@@ -309,14 +313,15 @@ class TestFleet:
         fleet = TenantFleet(size=2, workloads=("gups",),
                             scenarios=("medium",), references=500, seed=1)
         with pytest.raises(ValueError, match="tag_safe_block"):
-            simulate_fleet(fleet, scheme="rmm", policy="tagged",
+            simulate_fleet(fleet, scheme="anchor-region", policy="tagged",
                            quantum=200, active_pool=2)
         # ...but flush-policy fleets may use any scheme.
-        result = simulate_fleet(fleet, scheme="rmm", policy="flush",
+        result = simulate_fleet(fleet, scheme="anchor-region", policy="flush",
                                 quantum=200, active_pool=2)
         assert result.executed == 1000
 
-    @pytest.mark.parametrize("name", ["cluster", "cluster2mb", "colt"])
+    @pytest.mark.parametrize(
+        "name", ["cluster", "cluster2mb", "colt", "rmm", "prefetch"])
     def test_coalescing_schemes_admitted_to_tagged_fleet(self, name):
         """The schemes that flipped ``tag_safe_block`` run under
         ``policy="tagged"`` and share one physical hierarchy."""
@@ -327,7 +332,8 @@ class TestFleet:
         assert result.executed == 1000
         assert result.stats.accesses == 1000
 
-    @pytest.mark.parametrize("name", ["cluster", "cluster2mb", "colt"])
+    @pytest.mark.parametrize(
+        "name", ["cluster", "cluster2mb", "colt", "rmm", "prefetch"])
     def test_tagged_matches_flush_on_exhaustive_quanta(self, name):
         """With the quantum covering a tenant's whole trace, each tenant
         runs exactly once from a cold start: foreign-tag entries never

@@ -10,6 +10,7 @@ by a :class:`TraceStore`.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 
@@ -214,13 +215,23 @@ class TestProfilePass:
                          "shard_0002.prof"]
 
 
+#: sha256 over ``payload_bytes`` of the 1k gate recipe below, pinned
+#: when the sharded engine landed and re-verified by the
+#: prototype-clone rewrite.  Any behavioural drift in the fleet path —
+#: cloning, dispatch amortisation, stats folding, merge order — flips
+#: this constant and fails the gate.
+FLEET_1K_DIGEST = (
+    "2c0f9ae8f0627da1147fa8d7ca23cbe18bd8f32b9019c4e611120937dd15a13a"
+)
+
+
 @pytest.mark.skipif(
     not os.environ.get("ANCHOR_TLB_FLEET_1K"),
     reason="CI identity gate; set ANCHOR_TLB_FLEET_1K=1 to run",
 )
 def test_thousand_tenant_serial_vs_sharded_identity():
     """The gating CI step: a 1k-tenant fleet, serial vs sharded pool,
-    byte-identical payloads."""
+    byte-identical payloads, pinned across PRs by the digest constant."""
     fleet = TenantFleet(
         size=1000,
         workloads=("gups", "omnetpp", "sphinx3"),
@@ -233,4 +244,7 @@ def test_thousand_tenant_serial_vs_sharded_identity():
                             active_pool=8, shards=8, workers=0)
     pooled = simulate_fleet(fleet, scheme="anchor-dyn", quantum=250,
                             active_pool=8, shards=8, workers=4)
-    assert payload_bytes(serial) == payload_bytes(pooled)
+    serial_payload = payload_bytes(serial)
+    assert serial_payload == payload_bytes(pooled)
+    assert hashlib.sha256(
+        serial_payload.encode("utf-8")).hexdigest() == FLEET_1K_DIGEST
