@@ -75,6 +75,49 @@ class FileContext:
                 None if rules is None
                 else {r.strip() for r in rules.split(",") if r.strip()}
             )
+        self._extend_multiline_suppressions()
+
+    def _extend_multiline_suppressions(self) -> None:
+        """Anchor first-line pragmas to their whole statement.
+
+        A finding on a multi-line call/assignment may be reported at
+        any continuation line (the AST node that triggered it), while
+        the ``# repro: ignore`` comment naturally sits on the first
+        line.  Propagate a first-line pragma over the statement's full
+        span — for compound statements (``if``/``for``/``def``/...)
+        only over the *header*, so a pragma on a ``def`` line never
+        blankets the whole body.
+        """
+        if not self._suppressions:
+            return
+        simple = (
+            ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Expr,
+            ast.Return, ast.Raise, ast.Assert, ast.Delete,
+            ast.Import, ast.ImportFrom,
+        )
+        for node in ast.walk(self.tree):
+            if isinstance(node, simple):
+                start = node.lineno
+                end = node.end_lineno or start
+            elif isinstance(node, (
+                    ast.If, ast.While, ast.For, ast.AsyncFor,
+                    ast.With, ast.AsyncWith, ast.FunctionDef,
+                    ast.AsyncFunctionDef, ast.ClassDef)):
+                start = node.lineno
+                end = node.body[0].lineno - 1 if node.body else start
+            else:
+                continue
+            if end <= start or start not in self._suppressions:
+                continue
+            rules = self._suppressions[start]
+            for lineno in range(start + 1, end + 1):
+                if lineno not in self._suppressions:
+                    self._suppressions[lineno] = (
+                        None if rules is None else set(rules))
+                elif rules is None or self._suppressions[lineno] is None:
+                    self._suppressions[lineno] = None
+                else:
+                    self._suppressions[lineno] |= rules
 
     def is_suppressed(self, lineno: int, rule: str) -> bool:
         if lineno not in self._suppressions:

@@ -11,6 +11,7 @@ fix what they flag, not to grandfather it.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.checks.findings import Finding
@@ -45,12 +46,44 @@ def load_baseline(path: Path) -> set[str]:
 
 def write_baseline(path: Path, findings: list[Finding]) -> None:
     """Record every current finding so future runs start clean."""
+    write_fingerprints(path, {f.fingerprint() for f in findings})
+
+
+def write_fingerprints(path: Path, fingerprints: set[str]) -> None:
+    """Atomically write a baseline holding exactly ``fingerprints``.
+
+    The payload lands in a sibling temp file first and is moved into
+    place with :func:`os.replace`, so an interrupted write can never
+    leave a truncated baseline that silently masks the wrong findings.
+    """
     payload = {
         "format": BASELINE_FORMAT,
-        "fingerprints": sorted({f.fingerprint() for f in findings}),
+        "fingerprints": sorted(fingerprints),
     }
+    path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+def update_baseline(
+    path: Path,
+    baselined: list[Finding],
+    unused: set[str],
+) -> tuple[int, int]:
+    """Prune stale entries from an existing baseline, atomically.
+
+    Keeps exactly the fingerprints that still fire (``baselined``
+    findings from the current run) and drops the ``unused`` ones whose
+    violations were fixed.  *New* findings are deliberately **not**
+    adopted — that is ``--write-baseline``'s job; updating prunes.
+
+    Returns ``(kept, pruned)`` counts.
+    """
+    kept = {f.fingerprint() for f in baselined}
+    write_fingerprints(path, kept)
+    return len(kept), len(unused)
 
 
 def split_by_baseline(

@@ -6,9 +6,14 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.checks.baseline import BaselineError, write_baseline
+from repro.checks.baseline import (
+    BaselineError,
+    update_baseline,
+    write_baseline,
+)
 from repro.checks.runner import run_checks
 from repro.checks.rules import ALL_CHECKERS
+from repro.checks.sarif import to_sarif_json
 
 #: Default baseline location, relative to the working directory.  The
 #: repo ships no baseline file at all — an absent file is an empty
@@ -36,8 +41,9 @@ def main(argv: list[str] | None = None) -> int:
         help="files or directories to scan (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text; sarif emits a SARIF 2.1.0 "
+             "log for GitHub code scanning)",
     )
     parser.add_argument(
         "--rules", default=None,
@@ -52,6 +58,17 @@ def main(argv: list[str] | None = None) -> int:
         "--write-baseline", action="store_true",
         help="record every current finding into the baseline file "
              "and exit 0",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="atomically rewrite the baseline keeping only entries "
+             "that still fire (prunes stale fingerprints; does NOT "
+             "adopt new findings — the exit code still reflects them)",
+    )
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="print per-phase wall-clock (parse once, then each rule) "
+             "to stderr",
     )
     parser.add_argument(
         "--no-repo-checks", action="store_true",
@@ -92,7 +109,20 @@ def main(argv: list[str] | None = None) -> int:
               f"to {baseline_path}")
         return 0
 
-    print(result.to_json() if args.format == "json" else result.render())
+    if args.update_baseline:
+        kept, pruned = update_baseline(
+            baseline_path, result.baselined, set(result.unused_baseline))
+        print(f"baseline {baseline_path}: kept {kept} entrie(s), "
+              f"pruned {pruned} stale")
+
+    if args.format == "json":
+        print(result.to_json())
+    elif args.format == "sarif":
+        print(to_sarif_json(result))
+    else:
+        print(result.render())
+    if args.timings:
+        print(result.render_timings(), file=sys.stderr)
     return result.exit_code
 
 

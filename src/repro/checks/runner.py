@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -24,6 +25,10 @@ class CheckResult:
     findings: list[Finding] = field(default_factory=list)
     baselined: list[Finding] = field(default_factory=list)
     unused_baseline: list[str] = field(default_factory=list)
+    #: Wall-clock seconds per phase: ``parse``, one entry per rule id,
+    #: and ``total``.  Each file is parsed exactly once (the parse
+    #: phase); every rule then runs over the shared trees.
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def exit_code(self) -> int:
@@ -38,8 +43,16 @@ class CheckResult:
             "findings": [f.to_dict() for f in self.findings],
             "baselined": [f.to_dict() for f in self.baselined],
             "unused_baseline": sorted(self.unused_baseline),
+            "timings_s": {k: round(v, 4) for k, v in self.timings.items()},
             "exit_code": self.exit_code,
         }
+
+    def render_timings(self) -> str:
+        parts = [
+            f"{name:<18} {seconds * 1000.0:8.1f} ms"
+            for name, seconds in self.timings.items()
+        ]
+        return "\n".join(parts)
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2)
@@ -55,7 +68,7 @@ class CheckResult:
         if self.unused_baseline:
             summary += (
                 f"; {len(self.unused_baseline)} stale baseline entrie(s) — "
-                "regenerate with --write-baseline"
+                "prune with --update-baseline"
             )
         parts.append(summary)
         return "\n".join(parts)
@@ -99,7 +112,12 @@ def run_checks(
 
     project = ProjectContext(root)
     findings: list[Finding] = []
-    checkers: list[Checker] = []
+    timings: dict[str, float] = {}
+    started = time.perf_counter()
+
+    # Parse phase: each file is read and parsed exactly once; every
+    # rule below shares the resulting FileContext trees (and whatever
+    # the dataflow layer derives from them via project.shared).
     for path in discover_files(paths):
         try:
             source = path.read_text(encoding="utf-8")
@@ -118,13 +136,24 @@ def run_checks(
         if ctx.skip:
             continue
         project.files.append(ctx)
-        checkers.extend(cls(ctx, project) for cls in checker_classes)
+    timings["parse"] = time.perf_counter() - started
 
-    for checker in checkers:  # phase 1: cross-file facts
-        checker.collect()
-    for checker in checkers:  # phase 2: findings
-        checker.check()
-        findings.extend(checker.findings)
+    # Rule phases: per rule, collect cross-file facts over every file,
+    # then check every file.  Rules are independent (each owns its
+    # project.shared slot), so per-rule grouping preserves the
+    # collect-before-check contract while giving honest per-rule
+    # wall-clock.
+    for cls in checker_classes:
+        rule_started = time.perf_counter()
+        checkers: list[Checker] = [
+            cls(ctx, project) for ctx in project.files
+        ]
+        for checker in checkers:
+            checker.collect()
+        for checker in checkers:
+            checker.check()
+            findings.extend(checker.findings)
+        timings[cls.rule] = time.perf_counter() - rule_started
 
     if repo_checks and (rules is None or "tracked-bytecode" in rules):
         findings.extend(tracked_bytecode_findings(root))
@@ -132,10 +161,12 @@ def run_checks(
     findings.sort()
     baseline = load_baseline(baseline_path) if baseline_path else set()
     new, baselined, unused = split_by_baseline(findings, baseline)
+    timings["total"] = time.perf_counter() - started
     return CheckResult(
         root=str(root),
         files_scanned=len(project.files),
         findings=new,
         baselined=baselined,
         unused_baseline=sorted(unused),
+        timings=timings,
     )

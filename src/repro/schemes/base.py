@@ -25,6 +25,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro import sanitize
 from repro.errors import PageFaultError
 from repro.params import DEFAULT_MACHINE, HUGE_PAGE_PAGES, MachineConfig
 from repro.hw.l1 import L1TLB
@@ -200,6 +201,12 @@ class TranslationScheme(abc.ABC):
         attributes without touching the prototype's.
         """
         self._prepare_share()
+        if sanitize.enabled():
+            # Write-guard mode: everything the clone is about to share
+            # by reference becomes read-only, so a mutation the static
+            # shared-aliasing rule mismodels traps at the faulting
+            # store instead of corrupting sibling tenants.
+            sanitize.guard_shared(self)
         clone = object.__new__(type(self))
         clone.__dict__.update(self.__dict__)
         clone.l1 = L1TLB(self.config)

@@ -1,0 +1,26 @@
+"""Seeded shared-aliasing violations: four mutation shapes."""
+
+import numpy as np
+
+from schemes.base import TranslationScheme
+
+
+class MutatingScheme(TranslationScheme):
+    def __init__(self, mapping, config):
+        super().__init__(mapping, config)
+        self._runs = {}
+        self.hits = 0
+        self.table = np.zeros(64, dtype=np.int64)
+        self.freq = np.zeros(64, dtype=np.int64)
+
+    def hot_path(self, key):
+        self._runs[key] = self._runs.get(key, 0) + 1
+
+    def bump(self):
+        self.hits += 1
+
+    def refill(self, vals):
+        self.table[: len(vals)] = vals
+
+    def decay(self):
+        np.copyto(self.freq, 0)

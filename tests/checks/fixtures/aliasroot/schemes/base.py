@@ -1,0 +1,28 @@
+import copy
+
+
+class TranslationScheme:
+    def __init__(self, mapping, config):
+        self.mapping = mapping
+        self.config = config
+        self.l1 = object()
+        self.log_buf = []
+
+    def note(self, event):
+        # Seeded cross-file violation: every registered subclass shares
+        # log_buf by reference, and this mutates it in place.
+        self.log_buf.append(event)
+
+    def clone_fresh(self, mapping, config):
+        self._prepare_share()
+        clone = copy.copy(self)
+        clone.mapping = mapping
+        clone.config = config
+        clone._reset_clone()
+        return clone
+
+    def _prepare_share(self):
+        pass
+
+    def _reset_clone(self):
+        pass

@@ -1,0 +1,23 @@
+from sim.lru import simulate_block
+
+_TRACE_SINK = None
+
+
+def configure_sink(sink):
+    global _TRACE_SINK
+    _TRACE_SINK = sink
+
+
+class BaseScheme:
+    def __init__(self, mapping):
+        self.mapping = mapping
+        self.hits = 0
+
+    def access_block(self, vpns):
+        return self._resolve(vpns)
+
+    def _resolve(self, vpns):
+        return simulate_block(self, vpns, vpns, None)
+
+    def lookup(self, idx, key):
+        return None

@@ -1,0 +1,7 @@
+"""Indirection layer: reaches the worker global via a local import."""
+
+
+def execute_request(request):
+    from sim import runner
+
+    return runner.job_reading_global(request)

@@ -1,0 +1,19 @@
+"""Cross-module wiring case: the submitted callable lives in another
+module and reaches the worker global through a function-local import —
+the rule must follow both hops.  This pool has no initializer, so the
+run_in_executor submission must be flagged."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from service.api import execute_request
+
+
+class Server:
+    def __init__(self, loop):
+        self.loop = loop
+        self.pool = ProcessPoolExecutor(max_workers=2)
+
+    async def handle(self, request):
+        return await self.loop.run_in_executor(
+            self.pool, execute_request, request
+        )

@@ -1,0 +1,45 @@
+"""Seeded fork-safety violations: everything here must be flagged."""
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+_WORKER_STORE = None
+
+
+def configure_store(root):
+    global _WORKER_STORE
+    _WORKER_STORE = root
+
+
+def job_reading_global(spec):
+    return _WORKER_STORE, spec
+
+
+def unwired_pool(specs):
+    # No initializer: fork workers freeze the parent's _WORKER_STORE at
+    # pool-start and spawn workers never see it at all.
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(job_reading_global, s) for s in specs]
+        return [f.result() for f in as_completed(futures)]
+
+
+def closure_pool(specs):
+    captured = {}
+
+    def shard(spec):
+        return captured, spec
+
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        pool.submit(shard, specs[0])
+        pool.submit(lambda s: s, specs[1])
+
+
+class Orchestrator:
+    def __init__(self, specs):
+        self.specs = specs
+
+    def run_one(self, spec):
+        return spec
+
+    def dispatch(self):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            return pool.submit(self.run_one, self.specs[0])

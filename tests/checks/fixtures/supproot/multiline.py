@@ -1,0 +1,26 @@
+"""Multi-line suppression anchoring regression fixture.
+
+The pragma sits on the *first* line of a multi-line statement while
+the violating node (the ``np.random.default_rng`` call) starts on a
+continuation line — the finding must still be suppressed.  The
+``def``-line pragma below must NOT blanket the function body: the
+violation inside ``leaky`` has to survive.
+"""
+
+import numpy as np
+
+spanned = dict(  # repro: ignore[determinism]
+    rng=np.random.default_rng(
+        3
+    ),
+)
+
+scoped_span = [  # repro: ignore[dtype-hygiene]
+    np.random.default_rng(4),
+]
+
+
+def leaky(  # repro: ignore[determinism]
+    seed,
+):
+    return np.random.default_rng(seed)

@@ -1,0 +1,15 @@
+"""Fleet shard with the nested bind_shared helper the rule scans."""
+
+
+def simulate_shard(schemes, shared):
+    def bind_shared(s):
+        s.l1 = shared["l1"]
+        s.l2 = shared["l2"]
+        s.range_tlb = shared["range_tlb"]
+        s.victim = shared["victim"]
+        s.clustered.array = shared["cluster_array"]
+        # UnsharedTLBScheme.orphan deliberately missing.
+
+    for scheme in schemes:
+        bind_shared(scheme)
+    return schemes

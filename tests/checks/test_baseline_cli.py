@@ -12,11 +12,13 @@ from repro.checks.baseline import (
     BaselineError,
     load_baseline,
     split_by_baseline,
+    update_baseline,
     write_baseline,
 )
 from repro.checks.cli import main as checks_main
 from repro.checks.findings import Finding
 from repro.checks.runner import OUTPUT_FORMAT, run_checks
+from repro.checks.sarif import to_sarif
 
 FIXTURES = Path(__file__).parent / "fixtures"
 REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
@@ -63,6 +65,73 @@ class TestBaseline:
         baseline = tmp_path / "b.json"
         write_baseline(baseline, [])
         assert json.loads(baseline.read_text())["format"] == BASELINE_FORMAT
+
+
+class TestUpdateBaseline:
+    def test_prunes_stale_keeps_live(self, tmp_path):
+        findings = det_findings()
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, findings)
+        # Pretend one violation was fixed: its fingerprint goes stale.
+        still = findings[1:]
+        fingerprints = load_baseline(baseline)
+        _, baselined, unused = split_by_baseline(still, fingerprints)
+        kept, pruned = update_baseline(baseline, baselined, unused)
+        assert (kept, pruned) == (len(findings) - 1, 1)
+        assert load_baseline(baseline) == {
+            f.fingerprint() for f in still}
+
+    def test_does_not_adopt_new_findings(self, tmp_path):
+        findings = det_findings()
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, findings[:1])
+        fingerprints = load_baseline(baseline)
+        _, baselined, unused = split_by_baseline(findings, fingerprints)
+        update_baseline(baseline, baselined, unused)
+        # Only the originally-baselined entry survives.
+        assert load_baseline(baseline) == {findings[0].fingerprint()}
+
+    def test_write_is_atomic(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, det_findings())
+        # The temp file used for the atomic replace must not linger.
+        leftovers = [p for p in tmp_path.iterdir() if p != baseline]
+        assert leftovers == []
+        assert json.loads(baseline.read_text())["format"] == BASELINE_FORMAT
+
+
+class TestSarifOutput:
+    @pytest.fixture(scope="class")
+    def sarif(self):
+        root = FIXTURES / "detroot"
+        result = run_checks([root], root=root, repo_checks=False)
+        return result, to_sarif(result)
+
+    def test_log_shape(self, sarif):
+        result, log = sarif
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "anchor-tlb-check"
+        rule_ids = {r["id"] for r in driver["rules"]}
+        assert {"determinism", "fork-safety", "tag-safety",
+                "shared-aliasing", "tracked-bytecode",
+                "parse-error"} <= rule_ids
+        assert len(run["results"]) == len(result.findings)
+
+    def test_results_carry_fingerprints_and_locations(self, sarif):
+        result, log = sarif
+        (run,) = log["runs"]
+        by_fp = {f.fingerprint(): f for f in result.findings}
+        for entry in run["results"]:
+            fp = entry["partialFingerprints"]["anchorTlbFingerprint/v1"]
+            finding = by_fp[fp]
+            assert entry["ruleId"] == finding.rule
+            assert entry["level"] == "error"
+            loc = entry["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"] == finding.path
+            assert loc["region"]["startLine"] == max(finding.line, 1)
+            assert finding.hint in entry["message"]["text"]
 
 
 class TestJsonOutput:
@@ -116,6 +185,55 @@ class TestCli:
         code, out = self.run(str(bad), "--no-repo-checks")
         assert code == 0
         assert "1 baselined" in out
+
+    def test_update_baseline_prunes_and_still_gates(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import numpy as np\n"
+            "import time\n"
+            "A = np.random.default_rng(0)\n"
+            "T = time.time()\n")
+        baseline = tmp_path / "b.json"
+        code, _ = self.run(str(bad), "--write-baseline",
+                           "--baseline", str(baseline), "--no-repo-checks")
+        assert code == 0
+        # Fix one violation, introduce another: the stale entry must be
+        # pruned, the new finding must NOT be adopted (exit stays 1).
+        bad.write_text(
+            "import numpy as np\n"
+            "import datetime\n"
+            "A = np.random.default_rng(0)\n"
+            "D = datetime.datetime.now()\n")
+        code, out = self.run(str(bad), "--update-baseline",
+                             "--baseline", str(baseline), "--no-repo-checks")
+        assert code == 1
+        assert "kept 1 entrie(s), pruned 1 stale" in out
+        assert len(json.loads(baseline.read_text())["fingerprints"]) == 1
+
+    def test_sarif_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nR = np.random.default_rng(0)\n")
+        code, out = self.run(str(bad), "--format", "sarif",
+                             "--no-repo-checks")
+        assert code == 1
+        log = json.loads(out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "determinism"
+
+    def test_timings_go_to_stderr(self, tmp_path):
+        import contextlib
+        import io
+        clean = tmp_path / "ok.py"
+        clean.write_text("X = 1\n")
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = checks_main([str(clean), "--timings",
+                                "--no-repo-checks"])
+        assert code == 0
+        assert "parse" in err.getvalue()
+        assert "total" in err.getvalue()
+        assert "parse" not in out.getvalue()
 
     def test_rules_filter_and_listing(self, tmp_path):
         bad = tmp_path / "bad.py"
